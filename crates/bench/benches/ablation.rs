@@ -1,0 +1,55 @@
+//! Criterion bench: design-choice ablations beyond the paper's own
+//! Fig. 15 — BWB size, initial HBT associativity, bounds forwarding,
+//! and PAC width. These measure *simulated cycles* (reported via
+//! custom measurement of the run) as wall-time proxies; the
+//! corresponding simulated-cycle numbers are printed by
+//! `examples/ablation_study.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use aos_core::experiment::SystemUnderTest;
+use aos_core::isa::SafetyConfig;
+use aos_core::sim::Machine;
+use aos_core::workloads::{profile::by_name, TraceGenerator};
+
+fn bench_ablation(c: &mut Criterion) {
+    let profile = by_name("gcc").unwrap();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    for bwb_entries in [16usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("bwb_entries", bwb_entries),
+            &bwb_entries,
+            |b, &entries| {
+                b.iter(|| {
+                    let mut cfg =
+                        SystemUnderTest::scaled(SafetyConfig::Aos, 0.01).machine_config();
+                    cfg.mcu.bwb_entries = entries;
+                    let trace = TraceGenerator::new(profile, SafetyConfig::Aos, 0.01);
+                    black_box(Machine::new(cfg).run(trace).cycles)
+                })
+            },
+        );
+    }
+
+    for forwarding in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("bounds_forwarding", forwarding),
+            &forwarding,
+            |b, &fwd| {
+                b.iter(|| {
+                    let mut sut = SystemUnderTest::scaled(SafetyConfig::Aos, 0.01);
+                    sut.forwarding = fwd;
+                    let trace = TraceGenerator::new(profile, SafetyConfig::Aos, 0.01);
+                    black_box(Machine::new(sut.machine_config()).run(trace).cycles)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

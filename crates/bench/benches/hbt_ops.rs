@@ -1,0 +1,60 @@
+//! Criterion bench: hashed bounds table operations — store, check
+//! (hit and way-iteration), clear, and a full gradual resize.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aos_hbt::{CompressedBounds, HashedBoundsTable, HbtConfig};
+
+fn populated_table(chunks: u64) -> HashedBoundsTable {
+    let mut t = HashedBoundsTable::new(HbtConfig::default());
+    for i in 0..chunks {
+        let pac = (i * 0x9E37) & 0xFFFF;
+        let base = 0x4000_0000 + i * 0x100;
+        let _ = t.store(pac, CompressedBounds::encode(base, 64));
+    }
+    t.discard_accesses();
+    t
+}
+
+fn bench_hbt(c: &mut Criterion) {
+    c.bench_function("hbt_store_clear_pair", |b| {
+        let mut t = populated_table(10_000);
+        let bounds = CompressedBounds::encode(0x7000_0000, 64);
+        b.iter(|| {
+            t.store(0xABCD, bounds).unwrap();
+            t.clear(0xABCD, 0x7000_0000).unwrap();
+            t.discard_accesses();
+        })
+    });
+    c.bench_function("hbt_check_hit", |b| {
+        let mut t = populated_table(10_000);
+        b.iter(|| {
+            let hit = t.check(black_box(0x9E37 & 0xFFFF), 0x4000_0000 + 8, 0);
+            t.discard_accesses();
+            black_box(hit)
+        })
+    });
+    c.bench_function("hbt_compress_decompress", |b| {
+        b.iter(|| {
+            let bounds = CompressedBounds::encode(black_box(0x4000_0010), black_box(4096));
+            black_box(bounds.check(0x4000_0100))
+        })
+    });
+    let mut group = c.benchmark_group("hbt_resize");
+    group.sample_size(10);
+    group.bench_function("hbt_full_resize_migration_10k", |b| {
+        b.iter_with_setup(
+            || populated_table(10_000),
+            |mut t| {
+                t.begin_resize();
+                t.finish_migration();
+                black_box(t.ways())
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hbt);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: memory check unit — one full synchronous check
+//! and a malloc/access/free round through the functional machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aos_core::AosProcess;
+use aos_hbt::{HashedBoundsTable, HbtConfig};
+use aos_mcu::{McuConfig, McuOp, MemoryCheckUnit};
+use aos_ptrauth::PointerLayout;
+
+fn bench_mcu(c: &mut Criterion) {
+    c.bench_function("mcu_run_sync_check", |b| {
+        let layout = PointerLayout::default();
+        let mut hbt = HashedBoundsTable::new(HbtConfig::default());
+        let mut mcu = MemoryCheckUnit::new(McuConfig::default(), layout);
+        let ptr = layout.compose(0x4000_0000, 0x1234, 1);
+        mcu.run_sync(McuOp::BndStr { pointer: ptr, size: 4096 }, &mut hbt)
+            .unwrap();
+        b.iter(|| {
+            let out = mcu.run_sync(
+                McuOp::Access {
+                    pointer: black_box(ptr + 64),
+                    is_store: false,
+                },
+                &mut hbt,
+            );
+            hbt.discard_accesses();
+            black_box(out).unwrap()
+        })
+    });
+    c.bench_function("process_malloc_access_free", |b| {
+        let mut p = AosProcess::new();
+        b.iter(|| {
+            let ptr = p.malloc(64).unwrap();
+            p.store(ptr, 1).unwrap();
+            black_box(p.load(ptr).unwrap());
+            p.free(ptr).unwrap();
+        })
+    });
+    c.bench_function("process_checked_load", |b| {
+        let mut p = AosProcess::new();
+        let ptr = p.malloc(4096).unwrap();
+        p.store(ptr, 7).unwrap();
+        b.iter(|| black_box(p.load(black_box(ptr + 8))))
+    });
+}
+
+criterion_group!(benches, bench_mcu);
+criterion_main!(benches);

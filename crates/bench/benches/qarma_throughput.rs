@@ -1,0 +1,33 @@
+//! Criterion bench: QARMA `ComputePAC` throughput — the primitive on
+//! AOS's pointer-signing path (4 cycles in hardware; here we measure
+//! the software model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aos_qarma::{truncate_pac, PacKey, Qarma64};
+
+fn bench_qarma(c: &mut Criterion) {
+    let q = Qarma64::new(PacKey::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9));
+    c.bench_function("qarma_compute_pac", |b| {
+        let mut x = 0x4000_0000u64;
+        b.iter(|| {
+            x = x.wrapping_add(16);
+            black_box(q.compute(black_box(x), 0x477d469dec0b8762))
+        })
+    });
+    c.bench_function("qarma_compute_and_truncate", |b| {
+        let mut x = 0x4000_0000u64;
+        b.iter(|| {
+            x = x.wrapping_add(16);
+            black_box(truncate_pac(q.compute(black_box(x), 0x477d469dec0b8762), 16))
+        })
+    });
+    c.bench_function("qarma_invert", |b| {
+        let y = q.compute(0xfb623599da6e8127, 0x477d469dec0b8762);
+        b.iter(|| black_box(q.invert(black_box(y), 0x477d469dec0b8762)))
+    });
+}
+
+criterion_group!(benches, bench_qarma);
+criterion_main!(benches);

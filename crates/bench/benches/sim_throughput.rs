@@ -1,0 +1,28 @@
+//! Criterion bench: end-to-end simulator throughput (ops simulated
+//! per second) for Baseline and AOS machines on a small hmmer window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use aos_core::experiment::{run, SystemUnderTest};
+use aos_core::isa::SafetyConfig;
+use aos_core::workloads::profile::by_name;
+
+fn bench_sim(c: &mut Criterion) {
+    let profile = by_name("hmmer").unwrap();
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    for config in [SafetyConfig::Baseline, SafetyConfig::Aos, SafetyConfig::Watchdog] {
+        group.bench_with_input(
+            BenchmarkId::new("hmmer_1pct", config.to_string()),
+            &config,
+            |b, &config| {
+                b.iter(|| black_box(run(profile, &SystemUnderTest::scaled(config, 0.01))))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

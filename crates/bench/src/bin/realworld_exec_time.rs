@@ -1,0 +1,7 @@
+//! Beyond-paper experiment: see
+//! [`aos_bench::reports::realworld_exec_time`].
+
+fn main() {
+    let scale = aos_bench::scale_from_args(std::env::args());
+    print!("{}", aos_bench::reports::realworld_exec_time(scale));
+}

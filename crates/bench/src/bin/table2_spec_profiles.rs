@@ -1,0 +1,6 @@
+//! Reproduction binary: see [`aos_bench::reports::table2`].
+
+fn main() {
+    let scale = aos_bench::scale_from_args(std::env::args());
+    print!("{}", aos_bench::reports::table2(scale));
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary: see [`aos_bench::reports::table4`].
+
+fn main() {
+    print!("{}", aos_bench::reports::table4());
+}

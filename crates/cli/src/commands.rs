@@ -1,0 +1,377 @@
+//! The CLI subcommands.
+
+use aos_bench::reports;
+use aos_core::experiment::{run as run_experiment, SystemUnderTest};
+use aos_core::isa::SafetyConfig;
+use aos_core::security;
+use aos_core::sim::RunStats;
+use aos_core::workloads::collisions;
+use aos_core::workloads::microbench::pac_distribution;
+use aos_core::workloads::profile::{self, REAL_WORLD, SPEC2006};
+
+use crate::args::{scale, Parsed};
+
+/// The usage text.
+pub fn usage() -> String {
+    "\
+aos — the AOS (MICRO 2020) reproduction
+
+USAGE:
+  aos attacks                               stage the §VII attack gallery
+  aos run <workload> [--system <s>] [--scale <f>] [--json]
+                                            run one workload on one system
+  aos compare <workload> [--scale <f>]      all five systems, normalized
+  aos table <1|2|3|4> [--scale <f>]         reproduce a paper table
+  aos fig <11|14|15|16|17|18> [--scale <f>] reproduce a paper figure
+  aos pac [--allocations <n>] [--bits <b>] [--live <n>]
+                                            Fig. 11 microbenchmark + §VI
+                                            collision study
+  aos trace <workload> --out <path> [--system <s>] [--scale <f>]
+                                            capture a trace to a file
+  aos replay <path> [--system <s>]          replay a captured trace
+  aos params                                the Table IV machine parameters
+  aos workloads                             list the calibrated workloads
+
+SYSTEMS: baseline, watchdog, pa, aos, pa+aos
+"
+    .to_string()
+}
+
+fn parse_system(name: &str) -> Result<SafetyConfig, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "baseline" => Ok(SafetyConfig::Baseline),
+        "watchdog" => Ok(SafetyConfig::Watchdog),
+        "pa" => Ok(SafetyConfig::Pa),
+        "aos" => Ok(SafetyConfig::Aos),
+        "pa+aos" | "paaos" => Ok(SafetyConfig::PaAos),
+        other => Err(format!(
+            "unknown system '{other}' (baseline, watchdog, pa, aos, pa+aos)"
+        )),
+    }
+}
+
+fn find_workload(name: &str) -> Result<&'static aos_core::workloads::WorkloadProfile, String> {
+    profile::by_name(name).ok_or_else(|| {
+        let names: Vec<&str> = SPEC2006
+            .iter()
+            .chain(REAL_WORLD.iter())
+            .map(|p| p.name)
+            .collect();
+        format!("unknown workload '{name}'; known: {}", names.join(", "))
+    })
+}
+
+/// Hand-rolled JSON for a run's statistics (stable field set for
+/// scripting against the CLI).
+fn stats_json(workload: &str, system: SafetyConfig, stats: &RunStats) -> String {
+    format!(
+        concat!(
+            "{{\"workload\":\"{}\",\"system\":\"{}\",\"cycles\":{},",
+            "\"retired_ops\":{},\"ipc\":{:.4},\"l1d_miss_rate\":{:.4},",
+            "\"l2_miss_rate\":{:.4},\"traffic_bytes\":{},",
+            "\"signed_accesses\":{},\"bwb_hit_rate\":{:.4},",
+            "\"accesses_per_check\":{:.4},\"hbt_ways\":{},",
+            "\"hbt_resizes\":{},\"violations\":{},",
+            "\"charged_mispredicts\":{},\"waived_mispredicts\":{}}}"
+        ),
+        workload,
+        system,
+        stats.cycles,
+        stats.retired_ops,
+        stats.ipc(),
+        stats.l1d.miss_rate(),
+        stats.l2.miss_rate(),
+        stats.traffic.total_bytes(),
+        stats.mcu.signed_accesses,
+        stats.bwb.hit_rate(),
+        stats.mcu.accesses_per_check(),
+        stats.hbt_ways,
+        stats.hbt_resizes,
+        stats.violations,
+        stats.charged_mispredicts,
+        stats.waived_mispredicts,
+    )
+}
+
+/// `aos attacks`.
+pub fn attacks() -> Result<(), String> {
+    println!("== AOS attack gallery (paper §VII / Figs. 1, 12) ==\n");
+    for outcome in security::all_scenarios() {
+        println!("scenario : {}", outcome.name);
+        println!("baseline : {}", outcome.baseline_effect);
+        match &outcome.detected {
+            Some(err) => println!("AOS      : DETECTED — {err}"),
+            None => println!("AOS      : not detected (documented limitation, §VII-F)"),
+        }
+        println!();
+    }
+    Ok(())
+}
+
+/// `aos run <workload> [--system s] [--scale f] [--json]`.
+fn run_cmd_impl(parsed: &Parsed) -> Result<(), String> {
+    let name = parsed
+        .positional(0)
+        .ok_or_else(|| "run requires a workload name".to_string())?;
+    let workload = find_workload(name)?;
+    let system = parse_system(parsed.flag("system").unwrap_or("aos"))?;
+    let scale = scale(parsed)?;
+    let stats = run_experiment(workload, &SystemUnderTest::scaled(system, scale));
+    if parsed.flag("json").is_some_and(|v| v != "false") {
+        println!("{}", stats_json(name, system, &stats));
+        return Ok(());
+    }
+    println!("== {name} on {system} @ scale {scale} ==");
+    println!("cycles           {:>14}", stats.cycles);
+    println!("retired ops      {:>14}", stats.retired_ops);
+    println!("ipc              {:>14.3}", stats.ipc());
+    println!("L1-D miss        {:>13.2}%", stats.l1d.miss_rate() * 100.0);
+    println!("L2 miss          {:>13.2}%", stats.l2.miss_rate() * 100.0);
+    println!("traffic          {:>12} B", stats.traffic.total_bytes());
+    if system.uses_aos() {
+        println!("signed accesses  {:>14}", stats.mcu.signed_accesses);
+        println!("accesses/check   {:>14.3}", stats.mcu.accesses_per_check());
+        println!("BWB hit rate     {:>13.1}%", stats.bwb.hit_rate() * 100.0);
+        println!("HBT ways         {:>14}", stats.hbt_ways);
+        println!("HBT resizes      {:>14}", stats.hbt_resizes);
+    }
+    println!("violations       {:>14}", stats.violations);
+    Ok(())
+}
+
+/// `aos run`.
+pub fn run(args: &[String]) -> Result<(), String> {
+    run_cmd_impl(&Parsed::parse(args)?)
+}
+
+/// `aos compare <workload> [--scale f]`.
+pub fn compare(args: &[String]) -> Result<(), String> {
+    let parsed = Parsed::parse(args)?;
+    let name = parsed
+        .positional(0)
+        .ok_or_else(|| "compare requires a workload name".to_string())?;
+    let workload = find_workload(name)?;
+    let scale = scale(&parsed)?;
+    println!("== {name} @ scale {scale}: all five systems ==");
+    let baseline =
+        run_experiment(workload, &SystemUnderTest::scaled(SafetyConfig::Baseline, scale));
+    println!(
+        "{:<10} {:>12} {:>10} {:>8}",
+        "system", "cycles", "normalized", "ipc"
+    );
+    for system in SafetyConfig::ALL {
+        let stats = run_experiment(workload, &SystemUnderTest::scaled(system, scale));
+        println!(
+            "{:<10} {:>12} {:>10.3} {:>8.2}",
+            system.to_string(),
+            stats.cycles,
+            stats.cycles as f64 / baseline.cycles as f64,
+            stats.ipc()
+        );
+    }
+    Ok(())
+}
+
+/// `aos table <n>`.
+pub fn table(args: &[String]) -> Result<(), String> {
+    let parsed = Parsed::parse(args)?;
+    let which = parsed
+        .positional(0)
+        .ok_or_else(|| "table requires a number (1-4)".to_string())?;
+    let scale = scale(&parsed)?;
+    let text = match which {
+        "1" => reports::table1(),
+        "2" => reports::table2(scale),
+        "3" => reports::table3(scale),
+        "4" => reports::table4(),
+        other => return Err(format!("no table '{other}' (1-4)")),
+    };
+    print!("{text}");
+    Ok(())
+}
+
+/// `aos fig <n>`.
+pub fn fig(args: &[String]) -> Result<(), String> {
+    let parsed = Parsed::parse(args)?;
+    let which = parsed
+        .positional(0)
+        .ok_or_else(|| "fig requires a number (11, 14-18)".to_string())?;
+    let scale = scale(&parsed)?;
+    let text = match which {
+        "11" => reports::fig11(scale),
+        "14" => reports::fig14(scale),
+        "15" => reports::fig15(scale),
+        "16" => reports::fig16(scale),
+        "17" => reports::fig17(scale),
+        "18" => reports::fig18(scale),
+        other => return Err(format!("no figure '{other}' (11, 14, 15, 16, 17, 18)")),
+    };
+    print!("{text}");
+    Ok(())
+}
+
+/// `aos pac [--allocations n] [--bits b] [--live n]`.
+pub fn pac(args: &[String]) -> Result<(), String> {
+    let parsed = Parsed::parse(args)?;
+    let allocations: u64 = parsed.flag_or("allocations", 1_000_000)?;
+    let bits: u32 = parsed.flag_or("bits", 16)?;
+    if !(11..=24).contains(&bits) {
+        return Err(format!("--bits must be 11..=24, got {bits}"));
+    }
+    let histogram = pac_distribution(allocations, bits);
+    println!(
+        "{} allocations over {}-bit PACs: {}",
+        allocations,
+        bits,
+        histogram.occupancy_summary()
+    );
+    if let Some(live) = parsed.flag("live") {
+        let live: u64 = live
+            .parse()
+            .map_err(|_| format!("--live got unparsable value '{live}'"))?;
+        let s = collisions::study(live, bits);
+        let expected = collisions::expected_overflowing_rows(live, bits, 8);
+        println!(
+            "
+collision study for {live} simultaneously-live chunks (paper §VI):"
+        );
+        println!("  mean row occupancy  {:.3}", s.mean_row_occupancy);
+        println!("  max row occupancy   {}", s.max_row_occupancy);
+        println!(
+            "  rows over 8 records {} (Poisson model expects {expected:.2})",
+            s.rows_over_initial_capacity
+        );
+        println!("  implied HBT resizes {}", s.implied_resizes);
+    }
+    Ok(())
+}
+
+/// `aos trace <workload> [--system s] [--scale f] --out <path>`.
+pub fn trace(args: &[String]) -> Result<(), String> {
+    let parsed = Parsed::parse(args)?;
+    let name = parsed
+        .positional(0)
+        .ok_or_else(|| "trace requires a workload name".to_string())?;
+    let workload = find_workload(name)?;
+    let system = parse_system(parsed.flag("system").unwrap_or("aos"))?;
+    let scale = scale(&parsed)?;
+    let out = parsed
+        .flag("out")
+        .ok_or_else(|| "trace requires --out <path>".to_string())?;
+    let generator = aos_core::workloads::TraceGenerator::new(workload, system, scale);
+    let file = std::fs::File::create(out)
+        .map_err(|e| format!("cannot create '{out}': {e}"))?;
+    let metadata = format!("workload={name} system={system} scale={scale}");
+    let count = aos_core::isa::codec::write_trace(
+        std::io::BufWriter::new(file),
+        &metadata,
+        generator,
+    )
+    .map_err(|e| format!("write failed: {e}"))?;
+    println!("wrote {count} ops to {out} ({metadata})");
+    Ok(())
+}
+
+/// `aos replay <path> [--system s]`.
+pub fn replay(args: &[String]) -> Result<(), String> {
+    let parsed = Parsed::parse(args)?;
+    let path = parsed
+        .positional(0)
+        .ok_or_else(|| "replay requires a trace path".to_string())?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
+    let (metadata, ops) = aos_core::isa::codec::read_trace(std::io::BufReader::new(file))
+        .map_err(|e| format!("bad trace: {e}"))?;
+    // The machine config defaults to the system named in the metadata;
+    // --system overrides (e.g. replay an AOS trace on a
+    // no-optimizations machine).
+    let system = match parsed.flag("system") {
+        Some(s) => parse_system(s)?,
+        None => metadata
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix("system="))
+            .map(parse_system)
+            .transpose()?
+            .unwrap_or(SafetyConfig::Aos),
+    };
+    let mut machine =
+        aos_core::sim::Machine::new(SystemUnderTest::standard(system).machine_config());
+    let stats = machine.run(ops);
+    println!("replayed '{metadata}' on a {system} machine:");
+    println!("cycles {:>12}   ops {:>10}   ipc {:.3}", stats.cycles, stats.retired_ops, stats.ipc());
+    println!(
+        "violations {} resizes {} traffic {} B",
+        stats.violations,
+        stats.hbt_resizes,
+        stats.traffic.total_bytes()
+    );
+    Ok(())
+}
+
+/// `aos params`.
+pub fn params() -> Result<(), String> {
+    print!("{}", reports::table4());
+    Ok(())
+}
+
+/// `aos workloads`.
+pub fn workloads() -> Result<(), String> {
+    println!("SPEC CPU 2006 models (Table II):");
+    for p in SPEC2006 {
+        println!(
+            "  {:<12} {:>9} allocs, {:>8} max live, {:>3.0}% heap accesses",
+            p.name,
+            p.full_allocations,
+            p.full_max_active,
+            p.heap_fraction * 100.0
+        );
+    }
+    println!("real-world models (Table III):");
+    for p in REAL_WORLD {
+        println!(
+            "  {:<12} {:>9} allocs, {:>8} max live",
+            p.name, p.full_allocations, p.full_max_active
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_names_parse() {
+        assert_eq!(parse_system("baseline").unwrap(), SafetyConfig::Baseline);
+        assert_eq!(parse_system("PA+AOS").unwrap(), SafetyConfig::PaAos);
+        assert!(parse_system("mpx").is_err());
+    }
+
+    #[test]
+    fn workload_lookup_reports_candidates() {
+        assert!(find_workload("gcc").is_ok());
+        let err = find_workload("doom").unwrap_err();
+        assert!(err.contains("omnetpp"));
+    }
+
+    #[test]
+    fn json_output_is_wellformed_enough() {
+        let p = profile::by_name("mcf").unwrap();
+        let stats = run_experiment(p, &SystemUnderTest::scaled(SafetyConfig::Aos, 0.005));
+        let json = stats_json("mcf", SafetyConfig::Aos, &stats);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"workload\":\"mcf\""));
+        assert!(json.contains("\"cycles\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn fast_commands_succeed() {
+        assert!(params().is_ok());
+        assert!(workloads().is_ok());
+        assert!(pac(&["--allocations".into(), "2000".into()]).is_ok());
+        assert!(pac(&["--bits".into(), "40".into()]).is_err());
+        assert!(table(&["4".into()]).is_ok());
+        assert!(table(&["9".into()]).is_err());
+        assert!(fig(&["99".into()]).is_err());
+    }
+}

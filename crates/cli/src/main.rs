@@ -1,0 +1,52 @@
+//! `aos` — the command-line front end of the reproduction.
+//!
+//! ```text
+//! aos attacks                          stage the §VII attack gallery
+//! aos run <workload> [options]         one workload on one system
+//! aos compare <workload> [--scale f]   all five systems, normalized
+//! aos table <1|2|3|4> [--scale f]      reproduce a paper table
+//! aos fig <11|14|15|16|17|18> [--scale f]   reproduce a paper figure
+//! aos pac [--allocations n] [--bits b] the Fig. 11 microbenchmark
+//! aos trace / aos replay               capture & replay µop traces
+//! aos params                           the Table IV machine
+//! aos workloads                        list the calibrated workloads
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprint!("{}", commands::usage());
+        return ExitCode::FAILURE;
+    };
+    let rest = &argv[1..];
+    let outcome = match command.as_str() {
+        "attacks" => commands::attacks(),
+        "run" => commands::run(rest),
+        "compare" => commands::compare(rest),
+        "table" => commands::table(rest),
+        "fig" => commands::fig(rest),
+        "pac" => commands::pac(rest),
+        "trace" => commands::trace(rest),
+        "replay" => commands::replay(rest),
+        "params" => commands::params(),
+        "workloads" => commands::workloads(),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprint!("{}", commands::usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Extensions beyond the paper's evaluated system, implementing its
+//! stated future-work directions.
+//!
+//! - **Bounds narrowing** (§VII-F): the evaluated AOS checks whole-chunk
+//!   bounds, so intra-object overflows (one struct field into another)
+//!   pass. [`AosProcess::narrow`] derives a *sub-object* pointer whose
+//!   PAC indexes its own bounds record, so accesses through it are
+//!   checked against the field, not the chunk.
+//! - **Non-heap protection** (§III-D): the paper signs heap pointers
+//!   and notes the approach "can be applied to other data-pointer
+//!   types (e.g., stack pointers)". [`AosProcess::protect_region`]
+//!   signs an arbitrary region — a stack frame, a global buffer — with
+//!   the same machinery.
+//!
+//! Both extensions reuse the unmodified signing and table paths: a
+//! narrowed or region pointer is indistinguishable from a heap pointer
+//! to the MCU, so all of §VII's detection guarantees carry over.
+//!
+//! # Examples
+//!
+//! ```
+//! use aos_core::AosProcess;
+//!
+//! let mut p = AosProcess::new();
+//! // struct { char buf[16]; u64 is_admin; } — with 16-byte fields so
+//! // the compression granularity is respected.
+//! let obj = p.malloc(32).unwrap();
+//! let field = p.narrow(obj, 16, 16).unwrap();
+//! p.store(field, 0x41).unwrap();
+//! // Overflowing the field is now caught:
+//! assert!(p.store(field + 16, 1).is_err());
+//! // ...while the whole-object pointer still reaches everything.
+//! assert!(p.store(obj + 16, 0).is_ok());
+//! ```
+
+use aos_mcu::{AosException, McuOp};
+
+use crate::process::AosProcess;
+
+/// Errors raised by the narrowing/region extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtensionError {
+    /// The requested range is not 16-byte aligned or not a multiple of
+    /// 16 bytes — the granularity the Fig. 9 bounds compression can
+    /// represent.
+    Misaligned {
+        /// The offending address, offset or size.
+        value: u64,
+    },
+    /// The sub-range does not lie within the source pointer's valid
+    /// bounds (or the source pointer has none).
+    OutsideSourceBounds {
+        /// The source pointer.
+        pointer: u64,
+    },
+    /// No bounds record exists for the pointer being released — double
+    /// release, or a pointer that was never protected.
+    NotProtected {
+        /// The pointer passed to the release call.
+        pointer: u64,
+    },
+    /// Narrowing at offset 0 is not representable: the sub-object
+    /// would share its base address — and therefore its PAC row and
+    /// its lower-bound match key — with the parent chunk, making the
+    /// two records indistinguishable to the table.
+    SharesBaseWithParent {
+        /// The source pointer.
+        pointer: u64,
+    },
+}
+
+impl std::fmt::Display for ExtensionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtensionError::Misaligned { value } => {
+                write!(f, "{value:#x} is not 16-byte granular")
+            }
+            ExtensionError::OutsideSourceBounds { pointer } => {
+                write!(f, "range not within the bounds of {pointer:#x}")
+            }
+            ExtensionError::NotProtected { pointer } => {
+                write!(f, "{pointer:#x} has no bounds record to release")
+            }
+            ExtensionError::SharesBaseWithParent { pointer } => {
+                write!(f, "cannot narrow {pointer:#x} at offset 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtensionError {}
+
+impl AosProcess {
+    /// **Extension (§VII-F):** derives a signed sub-object pointer
+    /// covering `[offset, offset + size)` inside the object `ptr`
+    /// points to. Accesses through the returned pointer are checked
+    /// against the *field* bounds, detecting the intra-object
+    /// overflows the base design documents as future work.
+    ///
+    /// Release the narrowed bounds with
+    /// [`AosProcess::release_protection`] when done (and before the
+    /// underlying chunk is freed).
+    ///
+    /// # Errors
+    ///
+    /// - [`ExtensionError::SharesBaseWithParent`] for `offset == 0`
+    ///   (the sub-object would alias the parent's table record);
+    /// - [`ExtensionError::Misaligned`] unless `offset` and `size` are
+    ///   16-byte granular (the compression resolution);
+    /// - [`ExtensionError::OutsideSourceBounds`] if the range is not
+    ///   fully covered by `ptr`'s current bounds.
+    pub fn narrow(&mut self, ptr: u64, offset: u64, size: u64) -> Result<u64, ExtensionError> {
+        if offset == 0 {
+            return Err(ExtensionError::SharesBaseWithParent { pointer: ptr });
+        }
+        if !offset.is_multiple_of(16) {
+            return Err(ExtensionError::Misaligned { value: offset });
+        }
+        if size == 0 || !size.is_multiple_of(16) {
+            return Err(ExtensionError::Misaligned { value: size });
+        }
+        // Both ends of the sub-range must pass a bounds check against
+        // the *source* pointer's record.
+        let (mcu, hbt, _) = self.mcu_hbt_signer();
+        for probe in [ptr + offset, ptr + offset + size - 8] {
+            let checked = mcu.run_sync(
+                McuOp::Access {
+                    pointer: probe,
+                    is_store: false,
+                },
+                hbt,
+            );
+            match checked {
+                Ok(out) if !out.skipped => {}
+                _ => return Err(ExtensionError::OutsideSourceBounds { pointer: ptr }),
+            }
+        }
+        self.sign_and_store(self.strip_addr(ptr) + offset, size)
+    }
+
+    /// **Extension (§III-D):** signs an arbitrary 16-byte-aligned
+    /// region (stack frame, global buffer) so accesses through the
+    /// returned pointer are bounds checked like heap accesses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtensionError::Misaligned`] for unaligned bases or
+    /// non-granular/oversized sizes.
+    pub fn protect_region(&mut self, base: u64, size: u64) -> Result<u64, ExtensionError> {
+        if !base.is_multiple_of(16) {
+            return Err(ExtensionError::Misaligned { value: base });
+        }
+        if size == 0 || !size.is_multiple_of(16) || size > u32::MAX as u64 {
+            return Err(ExtensionError::Misaligned { value: size });
+        }
+        self.sign_and_store(base, size)
+    }
+
+    /// Releases the bounds of a pointer produced by
+    /// [`AosProcess::narrow`] or [`AosProcess::protect_region`]. The
+    /// pointer stays signed but loses its bounds — exactly like a
+    /// freed heap pointer, any further use faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtensionError::NotProtected`] when no matching
+    /// bounds record exists (double release).
+    pub fn release_protection(&mut self, ptr: u64) -> Result<(), ExtensionError> {
+        let (mcu, hbt, _) = self.mcu_hbt_signer();
+        match mcu.run_sync(McuOp::BndClr { pointer: ptr }, hbt) {
+            Ok(_) => Ok(()),
+            Err(AosException::BoundsClearFailure { .. }) => {
+                Err(ExtensionError::NotProtected { pointer: ptr })
+            }
+            Err(other) => unreachable!("bndclr cannot raise {other}"),
+        }
+    }
+
+    fn strip_addr(&self, ptr: u64) -> u64 {
+        self.layout().address(ptr)
+    }
+
+    /// pacma + bndstr for a derived pointer, resizing on row overflow
+    /// exactly as `malloc` does.
+    fn sign_and_store(&mut self, base: u64, size: u64) -> Result<u64, ExtensionError> {
+        let context = self.context();
+        let (_, _, signer) = self.mcu_hbt_signer();
+        let signed = signer.pacma(base, context, size);
+        loop {
+            let (mcu, hbt, _) = self.mcu_hbt_signer();
+            match mcu.run_sync(
+                McuOp::BndStr {
+                    pointer: signed,
+                    size,
+                },
+                hbt,
+            ) {
+                Ok(_) => return Ok(signed),
+                Err(AosException::BoundsStoreFailure { .. }) => {
+                    let (_, hbt, _) = self.mcu_hbt_signer();
+                    hbt.begin_resize();
+                    self.note_resize();
+                }
+                Err(other) => unreachable!("bndstr cannot raise {other}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemorySafetyError;
+
+    #[test]
+    fn narrowing_detects_intra_object_overflow() {
+        let mut p = AosProcess::new();
+        // struct { char name[16]; char buf[16]; u64 is_admin; }
+        let obj = p.malloc(48).unwrap();
+        p.store(obj + 32, 0).unwrap(); // is_admin = 0
+        let buf = p.narrow(obj, 16, 16).unwrap();
+        p.store(buf + 8, 0x42).unwrap();
+        let err = p.store(buf + 16, 1).unwrap_err();
+        assert!(matches!(err, MemorySafetyError::OutOfBounds { .. }));
+        // The object pointer still covers the whole chunk.
+        assert!(p.store(obj + 32, 0).is_ok());
+    }
+
+    #[test]
+    fn narrowed_interior_field() {
+        let mut p = AosProcess::new();
+        let obj = p.malloc(64).unwrap();
+        let field = p.narrow(obj, 32, 16).unwrap();
+        assert!(p.load(field).is_ok());
+        assert!(p.load(field + 8).is_ok());
+        assert!(p.load(field + 16).is_err(), "past the field");
+        assert!(p.load(field - 8).is_err(), "before the field");
+    }
+
+    #[test]
+    fn narrow_rejects_misaligned_and_oob_ranges() {
+        let mut p = AosProcess::new();
+        let obj = p.malloc(32).unwrap();
+        assert_eq!(
+            p.narrow(obj, 8, 16),
+            Err(ExtensionError::Misaligned { value: 8 })
+        );
+        assert_eq!(
+            p.narrow(obj, 16, 24),
+            Err(ExtensionError::Misaligned { value: 24 })
+        );
+        assert_eq!(
+            p.narrow(obj, 0, 16),
+            Err(ExtensionError::SharesBaseWithParent { pointer: obj })
+        );
+        assert_eq!(
+            p.narrow(obj, 16, 32),
+            Err(ExtensionError::OutsideSourceBounds { pointer: obj })
+        );
+        let unsigned = p.layout().address(obj);
+        assert!(matches!(
+            p.narrow(unsigned, 16, 16),
+            Err(ExtensionError::OutsideSourceBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn narrowed_pointer_can_be_released() {
+        let mut p = AosProcess::new();
+        let obj = p.malloc(32).unwrap();
+        let field = p.narrow(obj, 16, 16).unwrap();
+        p.release_protection(field).unwrap();
+        assert!(p.load(field).is_err(), "released field is locked");
+        assert_eq!(
+            p.release_protection(field),
+            Err(ExtensionError::NotProtected { pointer: field })
+        );
+        assert!(p.load(obj).is_ok(), "object bounds unaffected");
+    }
+
+    #[test]
+    fn stack_frame_protection_roundtrip() {
+        let mut p = AosProcess::new();
+        let frame = 0x3F00_0000_0000u64; // a "stack" region
+        let fp = p.protect_region(frame, 256).unwrap();
+        assert!(p.layout().is_signed(fp));
+        p.store(fp + 128, 7).unwrap();
+        assert_eq!(p.load(fp + 128).unwrap(), 7);
+        assert!(p.store(fp + 256, 7).is_err(), "frame overflow caught");
+        p.release_protection(fp).unwrap();
+        assert!(p.load(fp).is_err(), "popped frame is locked");
+    }
+
+    #[test]
+    fn protect_region_validates_arguments() {
+        let mut p = AosProcess::new();
+        assert!(matches!(
+            p.protect_region(0x1001, 16),
+            Err(ExtensionError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            p.protect_region(0x1000, 0),
+            Err(ExtensionError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            p.protect_region(0x1000, (u32::MAX as u64) + 16),
+            Err(ExtensionError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn extension_errors_display() {
+        assert!(ExtensionError::Misaligned { value: 3 }
+            .to_string()
+            .contains("granular"));
+        assert!(ExtensionError::OutsideSourceBounds { pointer: 1 }
+            .to_string()
+            .contains("bounds"));
+        assert!(ExtensionError::NotProtected { pointer: 1 }
+            .to_string()
+            .contains("release"));
+    }
+}

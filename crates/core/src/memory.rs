@@ -1,0 +1,128 @@
+//! A sparse 64-bit byte-addressable memory for the functional machine.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Page-granular sparse memory. Unwritten bytes read as zero, like
+/// fresh anonymous pages.
+///
+/// # Examples
+///
+/// ```
+/// use aos_core::SparseMemory;
+/// let mut m = SparseMemory::new();
+/// m.write_u64(0x1000, 42);
+/// assert_eq!(m.read_u64(0x1000), 42);
+/// assert_eq!(m.read_u64(0x2000), 0, "untouched memory reads zero");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of materialized pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, materializing the page if needed.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a little-endian u64 (may straddle pages).
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian u64 (may straddle pages).
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Copies `buf.len()` bytes starting at `addr` into `buf`.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+    }
+
+    /// Writes `buf` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
+        for (i, b) in buf.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = SparseMemory::new();
+        m.write_u64(0xABC0, 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_u64(0xABC0), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn straddles_page_boundaries() {
+        let mut m = SparseMemory::new();
+        let addr = (1 << 12) - 4;
+        m.write_u64(addr, u64::MAX);
+        assert_eq!(m.read_u64(addr), u64::MAX);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn bytes_interface() {
+        let mut m = SparseMemory::new();
+        m.write_bytes(0x100, b"hello world");
+        let mut buf = [0u8; 11];
+        m.read_bytes(0x100, &mut buf);
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read_u8(12345), 0);
+        assert_eq!(m.read_u64(0xFFFF_FFFF_0000), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = SparseMemory::new();
+        m.write_u64(0, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u8(0), 0x88);
+        assert_eq!(m.read_u8(7), 0x11);
+    }
+}

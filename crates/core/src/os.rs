@@ -1,0 +1,209 @@
+//! The operating-system side of AOS (paper §IV-D).
+//!
+//! The OS creates the bounds table at process start, grows it when
+//! `bndstr` overflows a row, and decides what happens on a
+//! bounds-checking failure. The paper leaves the failure policy to the
+//! developer: terminate, or report and resume. [`OsHandler`]
+//! centralizes that state machine so the functional process and any
+//! embedder apply identical semantics.
+
+use aos_hbt::HashedBoundsTable;
+use aos_mcu::{AosException, MemoryCheckUnit};
+
+/// What the exception handler does with a bounds-checking failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExceptionPolicy {
+    /// Kill the process on the first violation (the secure default).
+    #[default]
+    Terminate,
+    /// Log the violation and let the program continue — the paper's
+    /// "report an error and resume" option, useful for survey runs.
+    ReportAndResume,
+}
+
+/// Counters of everything the OS handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OsStats {
+    /// Gradual resizes performed on `bndstr` overflow.
+    pub resizes: u64,
+    /// Bounds-check failures (spatial/temporal violations) seen.
+    pub check_failures: u64,
+    /// Bounds-clear failures (double/invalid frees) seen.
+    pub clear_failures: u64,
+}
+
+/// The decision an [`OsHandler`] returns to the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsDecision {
+    /// The faulting operation was repaired (table resized); retry it.
+    Retry,
+    /// Deliver the violation to the process (fatal under
+    /// [`ExceptionPolicy::Terminate`]).
+    Deliver {
+        /// Whether the process must die.
+        fatal: bool,
+    },
+}
+
+/// The OS exception handler for AOS exceptions.
+///
+/// # Examples
+///
+/// ```
+/// use aos_core::os::{ExceptionPolicy, OsDecision, OsHandler};
+/// use aos_core::hbt::{HashedBoundsTable, HbtConfig};
+/// use aos_core::mcu::{AosException, McuConfig, MemoryCheckUnit};
+/// use aos_core::ptrauth::PointerLayout;
+///
+/// let mut os = OsHandler::new(ExceptionPolicy::ReportAndResume);
+/// let mut hbt = HashedBoundsTable::new(HbtConfig::default());
+/// let mut mcu = MemoryCheckUnit::new(McuConfig::default(), PointerLayout::default());
+/// let decision = os.handle(
+///     &AosException::BoundsStoreFailure { pac: 7 },
+///     None,
+///     &mut hbt,
+///     &mut mcu,
+/// );
+/// assert_eq!(decision, OsDecision::Retry);
+/// assert_eq!(os.stats().resizes, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OsHandler {
+    policy: ExceptionPolicy,
+    stats: OsStats,
+}
+
+impl OsHandler {
+    /// Creates a handler with the given failure policy.
+    pub fn new(policy: ExceptionPolicy) -> Self {
+        Self {
+            policy,
+            stats: OsStats::default(),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> ExceptionPolicy {
+        self.policy
+    }
+
+    /// What the OS has handled so far.
+    pub fn stats(&self) -> OsStats {
+        self.stats
+    }
+
+    /// Handles one AOS exception. For a `bndstr` overflow the table is
+    /// resized (gradually — accesses keep flowing during migration)
+    /// and, when the faulting MCQ entry id is supplied, the entry is
+    /// reset to retry. Violations are counted and delivered per the
+    /// policy.
+    pub fn handle(
+        &mut self,
+        exception: &AosException,
+        mcq_id: Option<u64>,
+        hbt: &mut HashedBoundsTable,
+        mcu: &mut MemoryCheckUnit,
+    ) -> OsDecision {
+        match exception {
+            AosException::BoundsStoreFailure { .. } => {
+                hbt.begin_resize();
+                self.stats.resizes += 1;
+                if let Some(id) = mcq_id {
+                    mcu.retry(id);
+                }
+                OsDecision::Retry
+            }
+            AosException::BoundsCheckFailure { .. } => {
+                self.stats.check_failures += 1;
+                if let Some(id) = mcq_id {
+                    mcu.drop_failed(id);
+                }
+                OsDecision::Deliver {
+                    fatal: self.policy == ExceptionPolicy::Terminate,
+                }
+            }
+            AosException::BoundsClearFailure { .. } => {
+                self.stats.clear_failures += 1;
+                if let Some(id) = mcq_id {
+                    mcu.drop_failed(id);
+                }
+                OsDecision::Deliver {
+                    fatal: self.policy == ExceptionPolicy::Terminate,
+                }
+            }
+        }
+    }
+}
+
+impl Default for OsHandler {
+    fn default() -> Self {
+        Self::new(ExceptionPolicy::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aos_hbt::HbtConfig;
+    use aos_mcu::McuConfig;
+    use aos_ptrauth::PointerLayout;
+
+    fn parts() -> (HashedBoundsTable, MemoryCheckUnit) {
+        (
+            HashedBoundsTable::new(HbtConfig::default()),
+            MemoryCheckUnit::new(McuConfig::default(), PointerLayout::default()),
+        )
+    }
+
+    #[test]
+    fn store_failure_resizes_and_retries() {
+        let (mut hbt, mut mcu) = parts();
+        let mut os = OsHandler::default();
+        let before = hbt.ways();
+        let d = os.handle(
+            &AosException::BoundsStoreFailure { pac: 3 },
+            None,
+            &mut hbt,
+            &mut mcu,
+        );
+        assert_eq!(d, OsDecision::Retry);
+        assert_eq!(hbt.ways(), before * 2);
+        assert_eq!(os.stats().resizes, 1);
+    }
+
+    #[test]
+    fn check_failure_is_fatal_under_terminate() {
+        let (mut hbt, mut mcu) = parts();
+        let mut os = OsHandler::new(ExceptionPolicy::Terminate);
+        let d = os.handle(
+            &AosException::BoundsCheckFailure {
+                pointer: 0x10,
+                is_store: false,
+            },
+            None,
+            &mut hbt,
+            &mut mcu,
+        );
+        assert_eq!(d, OsDecision::Deliver { fatal: true });
+        assert_eq!(os.stats().check_failures, 1);
+    }
+
+    #[test]
+    fn clear_failure_survivable_under_report_and_resume() {
+        let (mut hbt, mut mcu) = parts();
+        let mut os = OsHandler::new(ExceptionPolicy::ReportAndResume);
+        let d = os.handle(
+            &AosException::BoundsClearFailure { pointer: 0x20 },
+            None,
+            &mut hbt,
+            &mut mcu,
+        );
+        assert_eq!(d, OsDecision::Deliver { fatal: false });
+        assert_eq!(os.stats().clear_failures, 1);
+    }
+
+    #[test]
+    fn default_policy_is_terminate() {
+        assert_eq!(OsHandler::default().policy(), ExceptionPolicy::Terminate);
+    }
+}

@@ -1,0 +1,228 @@
+//! The 8-byte bounds compression of paper Fig. 9.
+//!
+//! `malloc` returns 16-byte-aligned pointers and takes a 32-bit size,
+//! so a bounds record can drop the lower bound's low 4 bits and its
+//! bits above 32: 29 bits of partial lower bound plus the 32-bit size
+//! fit in one 8-byte word, halving the metadata footprint of a naive
+//! (lower, upper) pair and letting one 64-byte cache line carry eight
+//! bounds for parallel checking.
+
+/// One compressed bounds record.
+///
+/// Bit layout (Fig. 9a): `[63:61]` reserved, `[60:32]` = lower-bound
+/// bits `[32:4]`, `[31:0]` = size. The all-zero word is reserved as
+/// the *empty* encoding (`bndclr` writes it), which is unambiguous
+/// because a real record always has a nonzero size.
+///
+/// # Examples
+///
+/// ```
+/// use aos_hbt::CompressedBounds;
+/// let b = CompressedBounds::encode(0x4000_0010, 64);
+/// assert!(b.check(0x4000_0010));
+/// assert!(b.check(0x4000_004F));
+/// assert!(!b.check(0x4000_0050));
+/// assert!(!b.check(0x4000_000F));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CompressedBounds(u64);
+
+impl CompressedBounds {
+    /// The empty (cleared) encoding.
+    pub const EMPTY: CompressedBounds = CompressedBounds(0);
+
+    /// Encodes the bounds of a chunk at `base` spanning `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 16-byte aligned or `size` is zero or
+    /// does not fit 32 bits — the two `malloc` properties the scheme
+    /// relies on.
+    pub fn encode(base: u64, size: u64) -> Self {
+        assert_eq!(base % 16, 0, "base must be 16-byte aligned");
+        assert!(size > 0, "size must be nonzero");
+        assert!(size <= u32::MAX as u64, "size must fit 32 bits");
+        let low_partial = (base >> 4) & ((1 << 29) - 1);
+        Self((low_partial << 32) | size)
+    }
+
+    /// Reconstructs a record from its raw 8-byte representation (e.g.
+    /// read back out of the table memory).
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw 8-byte representation stored in the HBT.
+    pub fn to_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` for the cleared encoding.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The decompressed 33-bit-domain lower bound (`dLowBnd`,
+    /// Fig. 9b).
+    pub fn lower(self) -> u64 {
+        (self.0 >> 32) << 4
+    }
+
+    /// The decompressed upper bound (`dUppBnd` = lower + size,
+    /// exclusive).
+    pub fn upper(self) -> u64 {
+        self.lower() + self.size()
+    }
+
+    /// The stored 32-bit size.
+    pub fn size(self) -> u64 {
+        self.0 & 0xFFFF_FFFF
+    }
+
+    /// The truncated address compared against the decompressed bounds:
+    /// `tAddr = C ‖ addr[32:0]` with the carry-compensation bit
+    /// `C = LowBnd[32] & !addr[32]` (Fig. 9b).
+    fn truncated_addr(self, addr: u64) -> u64 {
+        let low_bit32 = (self.0 >> 60) & 1; // LowBnd[32] sits at raw bit 60.
+        let addr_bit32 = (addr >> 32) & 1;
+        let c = low_bit32 & (1 ^ addr_bit32);
+        (c << 33) | (addr & 0x1_FFFF_FFFF)
+    }
+
+    /// Bounds check: is `addr` inside `[lower, upper)`?
+    ///
+    /// Only the low 33 address bits participate (plus the carry
+    /// compensation), so addresses exactly 8 GiB apart with the same
+    /// PAC would false-positively pass — the aliasing the paper argues
+    /// is unexploitable (§V-D, §VII-E).
+    pub fn check(self, addr: u64) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let t = self.truncated_addr(addr);
+        self.lower() <= t && t < self.upper()
+    }
+
+    /// Returns `true` if `addr` is exactly this record's (partial)
+    /// lower bound — the occupancy test `bndclr` performs before
+    /// clearing (paper §V-A2).
+    pub fn matches_base(self, addr: u64) -> bool {
+        !self.is_empty() && ((addr >> 4) & ((1 << 29) - 1)) == (self.0 >> 32) & ((1 << 29) - 1)
+    }
+}
+
+impl std::fmt::Display for CompressedBounds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            write!(f, "[empty]")
+        } else {
+            write!(f, "[{:#x}, {:#x})", self.lower(), self.upper())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_raw() {
+        let b = CompressedBounds::encode(0x1234_5670, 4096);
+        assert_eq!(CompressedBounds::from_raw(b.to_raw()), b);
+    }
+
+    #[test]
+    fn empty_is_all_zero_and_never_matches() {
+        assert!(CompressedBounds::EMPTY.is_empty());
+        assert_eq!(CompressedBounds::EMPTY.to_raw(), 0);
+        assert!(!CompressedBounds::EMPTY.check(0));
+        assert!(!CompressedBounds::EMPTY.matches_base(0));
+    }
+
+    #[test]
+    fn check_is_half_open() {
+        let b = CompressedBounds::encode(0x8000, 256);
+        assert!(b.check(0x8000));
+        assert!(b.check(0x80FF));
+        assert!(!b.check(0x8100));
+        assert!(!b.check(0x7FFF));
+    }
+
+    #[test]
+    fn single_granule_chunk() {
+        let b = CompressedBounds::encode(0x10, 16);
+        assert!(b.check(0x10));
+        assert!(b.check(0x1F));
+        assert!(!b.check(0x20));
+        assert!(!b.check(0x00));
+    }
+
+    #[test]
+    fn carry_compensation_across_8gib_boundary() {
+        // Chunk starting just below 2^33 and spilling past it: the
+        // upper part of the address loses bit 33, and the C bit must
+        // compensate.
+        let base = (1u64 << 33) - 64;
+        let b = CompressedBounds::encode(base, 128);
+        assert!(b.check(base));
+        assert!(b.check(base + 64), "address past the 2^33 wrap");
+        assert!(b.check(base + 127));
+        assert!(!b.check(base + 128));
+    }
+
+    #[test]
+    fn aliasing_at_8gib_multiples_is_the_documented_false_positive() {
+        let b = CompressedBounds::encode(0x4000_0010, 64);
+        // Same low 33 bits, 8 GiB away: the check cannot distinguish.
+        let alias = 0x4000_0010 + (1u64 << 34);
+        assert!(b.check(alias + 8), "documented aliasing limitation");
+    }
+
+    #[test]
+    fn matches_base_exact_only() {
+        let b = CompressedBounds::encode(0xA000, 256);
+        assert!(b.matches_base(0xA000));
+        assert!(!b.matches_base(0xA010));
+        assert!(!b.matches_base(0x9FF0));
+    }
+
+    #[test]
+    fn size_and_bounds_accessors() {
+        let b = CompressedBounds::encode(0x20_0000, 1000);
+        assert_eq!(b.size(), 1000);
+        assert_eq!(b.lower(), 0x20_0000);
+        assert_eq!(b.upper(), 0x20_0000 + 1000);
+    }
+
+    #[test]
+    fn max_size_fits() {
+        let b = CompressedBounds::encode(0x10, u32::MAX as u64);
+        assert_eq!(b.size(), u32::MAX as u64);
+        assert!(b.check(0x10));
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_base_rejected() {
+        CompressedBounds::encode(0x11, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_size_rejected() {
+        CompressedBounds::encode(0x10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "32 bits")]
+    fn oversized_rejected() {
+        CompressedBounds::encode(0x10, 1 << 33);
+    }
+
+    #[test]
+    fn display_shows_range() {
+        let b = CompressedBounds::encode(0x100, 16);
+        assert_eq!(b.to_string(), "[0x100, 0x110)");
+        assert_eq!(CompressedBounds::EMPTY.to_string(), "[empty]");
+    }
+}

@@ -1,0 +1,43 @@
+//! The hashed bounds table (HBT): AOS's metadata store.
+//!
+//! AOS keeps one bounds record per live heap chunk in a per-process
+//! table indexed *directly by PAC* (paper §V-B) — the embedded PAC is
+//! the hash, so the metadata address is just
+//! `BND_BASE + (PAC << (log2(assoc) + 6)) + (way << 6)` (Eqs. 1–2),
+//! replacing Intel MPX's multi-level walks with one add.
+//!
+//! This crate implements:
+//!
+//! - [`CompressedBounds`] — the 8-byte bounds encoding of Fig. 9
+//!   (29-bit partial lower bound + 32-bit size), which packs eight
+//!   bounds into each 64-byte table way;
+//! - [`HashedBoundsTable`] — the multi-way table with occupancy-checked
+//!   stores (`bndstr`), matching clears (`bndclr`) and way-iterating
+//!   checks, exactly the operations the memory check unit's FSMs
+//!   perform;
+//! - **gradual resizing** (§V-B, §V-F3): on row overflow the table
+//!   doubles its associativity, and a row-by-row migration manager
+//!   keeps both tables live so accesses are never blocked (Fig. 10).
+//!
+//! # Examples
+//!
+//! ```
+//! use aos_hbt::{CompressedBounds, HashedBoundsTable, HbtConfig};
+//!
+//! let mut hbt = HashedBoundsTable::new(HbtConfig::default());
+//! let bounds = CompressedBounds::encode(0x4000_0010, 64);
+//! hbt.store(0xBEEF, bounds).unwrap();
+//! // An access inside the chunk finds its bounds...
+//! assert!(hbt.check(0xBEEF, 0x4000_0030, 0).is_some());
+//! // ...one past the end does not.
+//! assert!(hbt.check(0xBEEF, 0x4000_0050, 0).is_none());
+//! ```
+
+mod compress;
+mod table;
+
+pub use compress::CompressedBounds;
+pub use table::{
+    ClearError, HashedBoundsTable, HbtConfig, HbtLookup, HbtSlot, HbtStats, StoreError,
+    BOUNDS_PER_WAY,
+};

@@ -1,0 +1,134 @@
+//! Chunk metadata: the boundary-tag view of the heap.
+
+/// Whether a chunk currently backs a live allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChunkState {
+    /// Returned by `malloc` and not yet freed.
+    InUse,
+    /// On a free list (fastbin or bin).
+    Free,
+}
+
+/// One heap chunk. `base` is the *user* pointer (what `malloc`
+/// returned); the 16-byte boundary-tag header sits immediately below
+/// it, as in glibc.
+///
+/// # Examples
+///
+/// ```
+/// use aos_heap::{Chunk, ChunkState};
+/// let c = Chunk::new(0x2000_0010, 48);
+/// assert_eq!(c.header_base(), 0x2000_0000);
+/// assert_eq!(c.end(), 0x2000_0040);
+/// assert!(c.contains(0x2000_0030));
+/// assert_eq!(c.state(), ChunkState::InUse);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Chunk {
+    base: u64,
+    usable_size: u64,
+    state: ChunkState,
+}
+
+/// Size of the boundary-tag header below every user pointer
+/// (`prev_size` + `size` words).
+pub(crate) const HEADER_SIZE: u64 = 16;
+
+impl Chunk {
+    /// Creates an in-use chunk with the given user base and usable
+    /// size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 16-byte aligned or `usable_size` is not
+    /// a multiple of 16 — both invariants of the allocator.
+    pub fn new(base: u64, usable_size: u64) -> Self {
+        assert_eq!(base % 16, 0, "chunk base must be 16-byte aligned");
+        assert_eq!(usable_size % 16, 0, "usable size must be 16-byte granular");
+        Self {
+            base,
+            usable_size,
+            state: ChunkState::InUse,
+        }
+    }
+
+    /// The user pointer.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Usable bytes from `base`.
+    pub fn usable_size(&self) -> u64 {
+        self.usable_size
+    }
+
+    /// Address of the boundary-tag header.
+    pub fn header_base(&self) -> u64 {
+        self.base - HEADER_SIZE
+    }
+
+    /// One past the last usable byte (= header of the next chunk).
+    pub fn end(&self) -> u64 {
+        self.base + self.usable_size
+    }
+
+    /// Total footprint including the header.
+    pub fn footprint(&self) -> u64 {
+        self.usable_size + HEADER_SIZE
+    }
+
+    /// Whether `addr` lies inside the usable region.
+    pub fn contains(&self, addr: u64) -> bool {
+        (self.base..self.end()).contains(&addr)
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ChunkState {
+        self.state
+    }
+
+    pub(crate) fn set_state(&mut self, state: ChunkState) {
+        self.state = state;
+    }
+
+    pub(crate) fn set_usable_size(&mut self, usable_size: u64) {
+        debug_assert_eq!(usable_size % 16, 0);
+        self.usable_size = usable_size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_consistent() {
+        let c = Chunk::new(0x1000, 64);
+        assert_eq!(c.base(), 0x1000);
+        assert_eq!(c.usable_size(), 64);
+        assert_eq!(c.header_base(), 0xFF0);
+        assert_eq!(c.end(), 0x1040);
+        assert_eq!(c.footprint(), 80);
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let c = Chunk::new(0x1000, 64);
+        assert!(c.contains(0x1000));
+        assert!(c.contains(0x103F));
+        assert!(!c.contains(0x1040));
+        assert!(!c.contains(0xFFF));
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_base_rejected() {
+        Chunk::new(0x1008 + 4, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "granular")]
+    fn ragged_size_rejected() {
+        Chunk::new(0x1000, 60);
+    }
+}

@@ -1,0 +1,42 @@
+//! A bin-based heap allocator model in the style of glibc `malloc`.
+//!
+//! AOS instruments dynamic memory allocation, so the reproduction needs
+//! an allocator that behaves like the one the paper ran on: 16-byte
+//! aligned user pointers (the property the bounds-compression scheme of
+//! §V-D relies on), boundary-tag chunk headers, LIFO fastbins for small
+//! chunks, best-fit reuse with coalescing for larger ones, and a
+//! wilderness/top chunk that grows on demand.
+//!
+//! The allocator is *simulated*: it manages an address space and chunk
+//! metadata without owning real backing memory. That is exactly what
+//! the workload generator, the bounds table and the security scenarios
+//! need — real data bytes live in `aos-core`'s sparse memory when an
+//! experiment wants them.
+//!
+//! The crate also provides [`profile::UsageProfile`], the
+//! max-active/allocations/deallocations accounting that reproduces the
+//! paper's Tables II and III (gathered there with Valgrind
+//! `--trace-malloc`).
+//!
+//! # Examples
+//!
+//! ```
+//! use aos_heap::{HeapAllocator, HeapConfig};
+//!
+//! # fn main() -> Result<(), aos_heap::HeapError> {
+//! let mut heap = HeapAllocator::new(HeapConfig::default());
+//! let a = heap.malloc(100)?;
+//! assert_eq!(a.base % 16, 0, "malloc returns 16-byte aligned pointers");
+//! assert!(a.usable_size >= 100);
+//! heap.free(a.base)?;
+//! assert_eq!(heap.profile().live, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod alloc;
+mod chunk;
+pub mod profile;
+
+pub use alloc::{Allocation, FreedChunk, HeapAllocator, HeapConfig, HeapError};
+pub use chunk::{Chunk, ChunkState};

@@ -1,0 +1,75 @@
+//! Watchdog metadata addressing.
+//!
+//! Watchdog (Nagarakatte et al., ISCA 2012) keeps per-pointer bounds
+//! and an allocation identifier in extended registers, plus a *lock
+//! location* in memory per allocation that is invalidated on free; a
+//! check µop loads the lock and compares it with the pointer's key.
+//! Pointer loads/stores additionally move the 24-byte metadata through
+//! a shadow space. We model both memory structures as disjoint linear
+//! regions derived from the data address, which reproduces the cache
+//! behaviour that matters: every check is an extra load to a
+//! non-data region, and every pointer memop moves 24 extra bytes.
+
+/// Base of the lock-location region.
+pub const LOCK_BASE: u64 = 0x2000_0000_0000;
+
+/// Base of the metadata shadow region.
+pub const SHADOW_BASE: u64 = 0x2800_0000_0000;
+
+/// Lock-location address for a data address: Watchdog keeps one lock
+/// per *allocation*, which we approximate as one 8-byte lock per 1 KiB
+/// region — coarse enough that the lock-location cache captures the
+/// working set, as in the Watchdog design.
+///
+/// # Examples
+///
+/// ```
+/// let a = aos_isa::watchdog::lock_address(0x4000);
+/// let b = aos_isa::watchdog::lock_address(0x4400);
+/// assert_ne!(a, b);
+/// assert_eq!(a % 8, 0);
+/// ```
+pub fn lock_address(addr: u64) -> u64 {
+    LOCK_BASE + (addr >> 10) * 8
+}
+
+/// Shadow-space address of the 24-byte metadata record for a pointer
+/// stored at `addr` (one record per 8-byte pointer slot).
+///
+/// # Examples
+///
+/// ```
+/// let a = aos_isa::watchdog::shadow_address(0x4000);
+/// let b = aos_isa::watchdog::shadow_address(0x4008);
+/// assert_eq!(b - a, 24, "adjacent pointer slots have adjacent records");
+/// ```
+pub fn shadow_address(addr: u64) -> u64 {
+    SHADOW_BASE + (addr >> 3) * 24
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_from_data_and_each_other() {
+        for addr in [0u64, 0x4000, 0xFFFF_FFFF, 0x3F_FFFF_FFFF] {
+            let lock = lock_address(addr);
+            let shadow = shadow_address(addr);
+            assert!((LOCK_BASE..SHADOW_BASE).contains(&lock));
+            assert!(shadow >= SHADOW_BASE);
+        }
+    }
+
+    #[test]
+    fn same_region_shares_a_lock() {
+        assert_eq!(lock_address(0x4000), lock_address(0x43FF));
+        assert_ne!(lock_address(0x4000), lock_address(0x4400));
+    }
+
+    #[test]
+    fn shadow_scales_with_pointer_slots() {
+        assert_eq!(shadow_address(0x4000), shadow_address(0x4007));
+        assert_eq!(shadow_address(0x4008) - shadow_address(0x4000), 24);
+    }
+}

@@ -1,0 +1,184 @@
+//! The bounds way buffer (paper §V-C): a small LRU tag buffer mapping
+//! object-region tags to the HBT way where the object's bounds were
+//! last found, so repeated checks skip the way iteration.
+
+/// Statistics for the Fig. 17 analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BwbStats {
+    /// Lookups that found a way hint.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+impl BwbStats {
+    /// Hit rate in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fully-associative, LRU-replaced tag buffer (64 entries in
+/// Table IV; each entry is a 32-bit tag from
+/// [`aos_ptrauth::bwb_tag`] plus a way number).
+///
+/// # Examples
+///
+/// ```
+/// use aos_mcu::BoundsWayBuffer;
+/// let mut bwb = BoundsWayBuffer::new(4);
+/// bwb.update(0xABCD, 3);
+/// assert_eq!(bwb.lookup(0xABCD), Some(3));
+/// assert_eq!(bwb.lookup(0x1234), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundsWayBuffer {
+    capacity: usize,
+    /// (tag, way), most recently used last.
+    entries: Vec<(u32, u32)>,
+    stats: BwbStats,
+}
+
+impl BoundsWayBuffer {
+    /// Creates a buffer with the given entry count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "BWB capacity must be nonzero");
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            stats: BwbStats::default(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a tag, refreshing its LRU position on hit.
+    pub fn lookup(&mut self, tag: u32) -> Option<u32> {
+        if let Some(pos) = self.entries.iter().position(|&(t, _)| t == tag) {
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry);
+            self.stats.hits += 1;
+            Some(entry.1)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Records that `tag`'s bounds were found in `way`, evicting the
+    /// least recently used entry if full.
+    pub fn update(&mut self, tag: u32, way: u32) {
+        if let Some(pos) = self.entries.iter().position(|&(t, _)| t == tag) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((tag, way));
+    }
+
+    /// Removes every entry (used across a table resize, where way
+    /// numbers change meaning).
+    pub fn invalidate_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> BwbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_then_lookup_hits() {
+        let mut b = BoundsWayBuffer::new(8);
+        b.update(1, 5);
+        assert_eq!(b.lookup(1), Some(5));
+        assert_eq!(b.stats().hits, 1);
+        assert_eq!(b.stats().misses, 0);
+    }
+
+    #[test]
+    fn miss_is_counted() {
+        let mut b = BoundsWayBuffer::new(8);
+        assert_eq!(b.lookup(42), None);
+        assert_eq!(b.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut b = BoundsWayBuffer::new(2);
+        b.update(1, 0);
+        b.update(2, 0);
+        b.update(3, 0); // evicts 1
+        assert_eq!(b.lookup(1), None);
+        assert_eq!(b.lookup(2), Some(0));
+        assert_eq!(b.lookup(3), Some(0));
+    }
+
+    #[test]
+    fn lookup_refreshes_lru_position() {
+        let mut b = BoundsWayBuffer::new(2);
+        b.update(1, 0);
+        b.update(2, 0);
+        b.lookup(1); // 1 becomes MRU
+        b.update(3, 0); // evicts 2
+        assert_eq!(b.lookup(2), None);
+        assert_eq!(b.lookup(1), Some(0));
+    }
+
+    #[test]
+    fn update_existing_changes_way() {
+        let mut b = BoundsWayBuffer::new(4);
+        b.update(1, 0);
+        b.update(1, 7);
+        assert_eq!(b.lookup(1), Some(7));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut b = BoundsWayBuffer::new(4);
+        b.update(1, 0);
+        b.update(2, 1);
+        b.invalidate_all();
+        assert!(b.is_empty());
+        assert_eq!(b.lookup(1), None);
+    }
+
+    #[test]
+    fn hit_rate_computation() {
+        let mut b = BoundsWayBuffer::new(4);
+        b.update(1, 0);
+        b.lookup(1);
+        b.lookup(2);
+        assert!((b.stats().hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(BwbStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        BoundsWayBuffer::new(0);
+    }
+}

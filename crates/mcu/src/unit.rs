@@ -1,0 +1,1066 @@
+//! The memory check unit: issue, FSM stepping, replay, forwarding,
+//! retirement.
+
+use crate::bwb::BoundsWayBuffer;
+use crate::mcq::{McqEntry, McqState, McuOp};
+use aos_hbt::{CompressedBounds, HashedBoundsTable, BOUNDS_PER_WAY};
+use aos_ptrauth::{bwb_tag, Ahc, PointerLayout};
+
+/// The port through which the MCU reaches the memory hierarchy.
+///
+/// The timing simulator implements this with its cache model so bounds
+/// traffic contends with (and pollutes) ordinary data accesses; the
+/// functional machine uses [`ZeroLatencyMemory`].
+pub trait BoundsMemory {
+    /// Requests the 64-byte line at `addr`; returns the latency in
+    /// cycles until the data is available.
+    fn load_line(&mut self, addr: u64) -> u64;
+
+    /// Writes the 64-byte line at `addr`; returns the occupancy
+    /// latency in cycles.
+    fn store_line(&mut self, addr: u64) -> u64;
+}
+
+/// A [`BoundsMemory`] that answers instantly — functional mode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroLatencyMemory;
+
+impl BoundsMemory for ZeroLatencyMemory {
+    fn load_line(&mut self, _addr: u64) -> u64 {
+        0
+    }
+
+    fn store_line(&mut self, _addr: u64) -> u64 {
+        0
+    }
+}
+
+/// MCU configuration (defaults from Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McuConfig {
+    /// Memory check queue capacity.
+    pub mcq_entries: usize,
+    /// Bounds way buffer capacity.
+    pub bwb_entries: usize,
+    /// Whether the BWB is consulted (ablation knob).
+    pub use_bwb: bool,
+    /// Whether store→load bounds forwarding is enabled (§V-F2).
+    pub bounds_forwarding: bool,
+}
+
+impl Default for McuConfig {
+    fn default() -> Self {
+        Self {
+            mcq_entries: 48,
+            bwb_entries: 64,
+            use_bwb: true,
+            bounds_forwarding: true,
+        }
+    }
+}
+
+/// The new exception class AOS introduces (paper §IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AosException {
+    /// A signed load/store found no valid bounds: a spatial or
+    /// temporal memory safety violation.
+    BoundsCheckFailure {
+        /// The faulting signed pointer.
+        pointer: u64,
+        /// `true` if the access was a store.
+        is_store: bool,
+    },
+    /// `bndstr` found no empty slot: the OS must resize the table.
+    BoundsStoreFailure {
+        /// The row that overflowed.
+        pac: u64,
+    },
+    /// `bndclr` found no matching bounds: double free or free of an
+    /// invalid address.
+    BoundsClearFailure {
+        /// The pointer being freed.
+        pointer: u64,
+    },
+}
+
+impl std::fmt::Display for AosException {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AosException::BoundsCheckFailure { pointer, is_store } => write!(
+                f,
+                "bounds check failed for {} of {pointer:#x}",
+                if *is_store { "store" } else { "load" }
+            ),
+            AosException::BoundsStoreFailure { pac } => {
+                write!(f, "bounds store failed: row {pac:#x} full")
+            }
+            AosException::BoundsClearFailure { pointer } => {
+                write!(f, "bounds clear failed for {pointer:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AosException {}
+
+/// Events surfaced by [`MemoryCheckUnit::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McuEvent {
+    /// A failed entry reached the MCQ head; the OS must handle it
+    /// (then [`MemoryCheckUnit::retry`] or drop the entry).
+    Exception {
+        /// MCQ entry id.
+        id: u64,
+        /// What went wrong.
+        exception: AosException,
+    },
+    /// An entry completed and left the queue.
+    Retired {
+        /// MCQ entry id.
+        id: u64,
+        /// Ways touched while checking (0 for unsigned/forwarded).
+        ways_touched: u32,
+    },
+}
+
+/// Result of a synchronous (functional) MCU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// `true` when the access was unsigned and skipped checking.
+    pub skipped: bool,
+    /// `true` when satisfied by store→load bounds forwarding.
+    pub forwarded: bool,
+    /// HBT way lines touched.
+    pub ways_touched: u32,
+}
+
+/// Cumulative MCU statistics (Figs. 16 and 17 draw on these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct McuStats {
+    /// Operations issued into the MCQ.
+    pub issued: u64,
+    /// Accesses that were unsigned (no checking needed).
+    pub unsigned_accesses: u64,
+    /// Accesses that required bounds checking.
+    pub signed_accesses: u64,
+    /// `bndstr` operations.
+    pub bndstrs: u64,
+    /// `bndclr` operations.
+    pub bndclrs: u64,
+    /// Checks satisfied by bounds forwarding.
+    pub forwards: u64,
+    /// Entries replayed by the store-load replay rule.
+    pub replays: u64,
+    /// HBT way lines loaded.
+    pub line_loads: u64,
+    /// HBT lines written (bounds stores/clears).
+    pub line_stores: u64,
+    /// Total ways touched across completed checks.
+    pub way_iterations: u64,
+    /// Checks that completed successfully against the table.
+    pub completed_checks: u64,
+    /// Exceptions raised.
+    pub exceptions: u64,
+}
+
+impl McuStats {
+    /// Average HBT accesses per completed (non-forwarded) check — the
+    /// per-workload series of Fig. 17.
+    pub fn accesses_per_check(&self) -> f64 {
+        if self.completed_checks == 0 {
+            0.0
+        } else {
+            self.way_iterations as f64 / self.completed_checks as f64
+        }
+    }
+}
+
+/// The memory check unit. See the [crate docs](crate) for an overview
+/// and an example.
+#[derive(Debug, Clone)]
+pub struct MemoryCheckUnit {
+    config: McuConfig,
+    layout: PointerLayout,
+    queue: Vec<McqEntry>,
+    bwb: BoundsWayBuffer,
+    next_id: u64,
+    stats: McuStats,
+}
+
+impl MemoryCheckUnit {
+    /// Creates an empty unit.
+    pub fn new(config: McuConfig, layout: PointerLayout) -> Self {
+        Self {
+            config,
+            layout,
+            queue: Vec::with_capacity(config.mcq_entries),
+            bwb: BoundsWayBuffer::new(config.bwb_entries),
+            next_id: 0,
+            stats: McuStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &McuConfig {
+        &self.config
+    }
+
+    /// Entries currently in the queue.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether another operation can be issued this cycle. When the
+    /// queue is full the issue stage stalls — the back-pressure the
+    /// paper notes can even *help* some workloads (§IX-A).
+    pub fn has_capacity(&self) -> bool {
+        self.queue.len() < self.config.mcq_entries
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> McuStats {
+        self.stats
+    }
+
+    /// BWB statistics (Fig. 17's hit rate).
+    pub fn bwb_stats(&self) -> crate::bwb::BwbStats {
+        self.bwb.stats()
+    }
+
+    /// Enqueues an operation, returning its entry id.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(op)` when the queue is full (the caller must stall
+    /// and retry next cycle).
+    pub fn issue(&mut self, op: McuOp, now: u64) -> Result<u64, McuOp> {
+        if !self.has_capacity() {
+            return Err(op);
+        }
+        let pointer = match op {
+            McuOp::Access { pointer, .. }
+            | McuOp::BndStr { pointer, .. }
+            | McuOp::BndClr { pointer } => pointer,
+        };
+        let addr = self.layout.address(pointer);
+        let pac = self.layout.pac(pointer);
+        let ahc = Ahc::from_bits(self.layout.ahc(pointer));
+        let bnd_data = match op {
+            McuOp::BndStr { size, .. } => CompressedBounds::encode(addr, size),
+            _ => CompressedBounds::EMPTY,
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stats.issued += 1;
+        match op {
+            McuOp::Access { .. } if ahc.is_some() => self.stats.signed_accesses += 1,
+            McuOp::Access { .. } => self.stats.unsigned_accesses += 1,
+            McuOp::BndStr { .. } => self.stats.bndstrs += 1,
+            McuOp::BndClr { .. } => self.stats.bndclrs += 1,
+        }
+        self.queue.push(McqEntry {
+            id,
+            op,
+            addr,
+            pac,
+            ahc,
+            bnd_data,
+            way: 0,
+            count: 0,
+            start_way: 0,
+            hit: None,
+            committed: false,
+            state: McqState::Init,
+            ready_at: now,
+            reported: false,
+            forwarded: false,
+        });
+        Ok(id)
+    }
+
+    /// Marks an entry as committed by the ROB.
+    pub fn mark_committed(&mut self, id: u64) {
+        if let Some(e) = self.queue.iter_mut().find(|e| e.id == id) {
+            e.committed = true;
+        }
+    }
+
+    /// Current FSM state of an entry, if still queued.
+    pub fn state_of(&self, id: u64) -> Option<McqState> {
+        self.queue.iter().find(|e| e.id == id).map(|e| e.state)
+    }
+
+    /// Whether the instruction may retire from the ROB: its check is
+    /// complete (or it never needed one). Entries no longer in the
+    /// queue have retired already.
+    pub fn check_complete(&self, id: u64) -> bool {
+        match self.queue.iter().find(|e| e.id == id) {
+            Some(e) => e.state == McqState::Done,
+            None => true,
+        }
+    }
+
+    /// Whether the ROB may retire this instruction: checks must be
+    /// `Done` (delayed retirement, §III-C4), while `bndstr`/`bndclr`
+    /// only need their occupancy check finished — their table store is
+    /// sent *after* commit to preserve store ordering.
+    pub fn can_retire(&self, id: u64) -> bool {
+        match self.queue.iter().find(|e| e.id == id) {
+            None => true,
+            Some(e) => match e.op {
+                McuOp::Access { .. } => e.state == McqState::Done,
+                McuOp::BndStr { .. } | McuOp::BndClr { .. } => {
+                    matches!(e.state, McqState::BndStr | McqState::Done)
+                }
+            },
+        }
+    }
+
+    /// Resets a failed (or in-flight) entry to retry from scratch —
+    /// the OS path after resizing the table on a `bndstr` failure.
+    pub fn retry(&mut self, id: u64) {
+        if let Some(e) = self.queue.iter_mut().find(|e| e.id == id) {
+            e.state = McqState::Init;
+            e.count = 0;
+            e.way = 0;
+            e.hit = None;
+            e.reported = false;
+            e.ready_at = 0;
+        }
+    }
+
+    /// Removes a failed head entry (OS chose to terminate/skip).
+    pub fn drop_failed(&mut self, id: u64) {
+        self.queue.retain(|e| e.id != id);
+    }
+
+    /// Clears the whole queue (process teardown).
+    pub fn flush(&mut self) {
+        self.queue.clear();
+    }
+
+    /// Advances every ready entry by one FSM step and retires
+    /// completed head entries. Events are appended to `events` (an
+    /// out-buffer so the per-cycle hot path does not allocate).
+    pub fn tick(
+        &mut self,
+        now: u64,
+        hbt: &mut HashedBoundsTable,
+        mem: &mut dyn BoundsMemory,
+        events: &mut Vec<McuEvent>,
+    ) {
+        let ways = hbt.ways();
+        for i in 0..self.queue.len() {
+            if self.queue[i].is_terminal() || self.queue[i].ready_at > now {
+                continue;
+            }
+            match self.queue[i].state {
+                McqState::Init => self.step_init(i, now, hbt, mem, ways),
+                McqState::BndChk => self.step_bndchk(i, now, hbt, mem, ways),
+                McqState::OccChk => self.step_occchk(i, now, hbt, mem, ways),
+                McqState::BndStr => self.step_bndstr(i, now, hbt, mem),
+                McqState::Fail | McqState::Done => {}
+            }
+        }
+
+        // A failed entry at the head raises its exception (once).
+        if let Some(head) = self.queue.first_mut() {
+            if head.state == McqState::Fail && !head.reported {
+                head.reported = true;
+                self.stats.exceptions += 1;
+                let exception = match head.op {
+                    McuOp::Access { pointer, is_store } => {
+                        AosException::BoundsCheckFailure { pointer, is_store }
+                    }
+                    McuOp::BndStr { .. } => AosException::BoundsStoreFailure { pac: head.pac },
+                    McuOp::BndClr { pointer } => AosException::BoundsClearFailure { pointer },
+                };
+                events.push(McuEvent::Exception {
+                    id: head.id,
+                    exception,
+                });
+            }
+        }
+
+        // Deallocate completed entries. Done entries are excluded from
+        // store-load replay by construction, so they may leave the
+        // queue out of order; bndstr/bndclr additionally wait for ROB
+        // commit because their table store is sent post-commit (and
+        // commits arrive in program order, so bounds stores stay
+        // ordered).
+        let mut i = 0;
+        while i < self.queue.len() {
+            let e = &self.queue[i];
+            let releasable = e.state == McqState::Done
+                && (matches!(e.op, McuOp::Access { .. }) || e.committed);
+            if !releasable {
+                i += 1;
+                continue;
+            }
+            let entry = self.queue.remove(i);
+            let ways_touched = if entry.is_signed_access() && !entry.forwarded {
+                entry.count + 1
+            } else {
+                0
+            };
+            if self.config.use_bwb && !entry.forwarded {
+                if let (Some(ahc), Some((way, _))) = (entry.ahc, entry.hit) {
+                    if matches!(entry.op, McuOp::Access { .. }) {
+                        self.bwb.update(bwb_tag(entry.addr, ahc, entry.pac), way);
+                    }
+                }
+            }
+            events.push(McuEvent::Retired {
+                id: entry.id,
+                ways_touched,
+            });
+        }
+    }
+
+    fn step_init(
+        &mut self,
+        i: usize,
+        now: u64,
+        hbt: &HashedBoundsTable,
+        mem: &mut dyn BoundsMemory,
+        ways: u32,
+    ) {
+        match self.queue[i].op {
+            McuOp::Access { .. } => {
+                if self.queue[i].ahc.is_none() {
+                    // Unsigned: no bounds checking (Fig. 6).
+                    self.queue[i].state = McqState::Done;
+                    return;
+                }
+                let (pac, addr) = (self.queue[i].pac, self.queue[i].addr);
+                // Store→load bounds forwarding from an older in-flight
+                // bndstr with the same PAC whose bounds cover us.
+                if self.config.bounds_forwarding {
+                    let forwarded = self.queue[..i].iter().any(|e| {
+                        matches!(e.op, McuOp::BndStr { .. })
+                            && e.pac == pac
+                            && e.state != McqState::Fail
+                            && e.bnd_data.check(addr)
+                    });
+                    if forwarded {
+                        self.stats.forwards += 1;
+                        let e = &mut self.queue[i];
+                        e.forwarded = true;
+                        e.state = McqState::Done;
+                        return;
+                    }
+                }
+                let start_way = if self.config.use_bwb {
+                    let ahc = self.queue[i].ahc.expect("signed access has an AHC");
+                    self.bwb
+                        .lookup(bwb_tag(addr, ahc, pac))
+                        .map(|w| w % ways)
+                        .unwrap_or(0)
+                } else {
+                    0
+                };
+                let e = &mut self.queue[i];
+                e.start_way = start_way;
+                e.way = start_way;
+                e.count = 0;
+                e.state = McqState::BndChk;
+                let line = hbt.line_address(pac, start_way);
+                self.stats.line_loads += 1;
+                self.queue[i].ready_at = now + 1 + mem.load_line(line);
+            }
+            McuOp::BndStr { .. } | McuOp::BndClr { .. } => {
+                let pac = self.queue[i].pac;
+                let e = &mut self.queue[i];
+                e.way = 0;
+                e.count = 0;
+                e.state = McqState::OccChk;
+                let line = hbt.line_address(pac, 0);
+                self.stats.line_loads += 1;
+                self.queue[i].ready_at = now + 1 + mem.load_line(line);
+            }
+        }
+    }
+
+    fn step_bndchk(
+        &mut self,
+        i: usize,
+        now: u64,
+        hbt: &HashedBoundsTable,
+        mem: &mut dyn BoundsMemory,
+        ways: u32,
+    ) {
+        let (pac, addr, way) = (self.queue[i].pac, self.queue[i].addr, self.queue[i].way);
+        let spw = hbt.slots_per_way() as usize;
+        let line = hbt.peek_way(pac, way);
+        if let Some(slot) = line[..spw].iter().position(|b| b.check(addr)) {
+            let e = &mut self.queue[i];
+            e.hit = Some((way, slot as u32));
+            e.state = McqState::Done;
+            self.stats.way_iterations += (e.count + 1) as u64;
+            self.stats.completed_checks += 1;
+            return;
+        }
+        // IncCnt: try the next way or fail.
+        let count = self.queue[i].count + 1;
+        if count == ways {
+            self.queue[i].count = count - 1;
+            self.queue[i].state = McqState::Fail;
+            return;
+        }
+        let next_way = (self.queue[i].start_way + count) % ways;
+        let e = &mut self.queue[i];
+        e.count = count;
+        e.way = next_way;
+        let line_addr = hbt.line_address(pac, next_way);
+        self.stats.line_loads += 1;
+        self.queue[i].ready_at = now + 1 + mem.load_line(line_addr);
+    }
+
+    fn step_occchk(
+        &mut self,
+        i: usize,
+        now: u64,
+        hbt: &HashedBoundsTable,
+        mem: &mut dyn BoundsMemory,
+        ways: u32,
+    ) {
+        let (pac, addr, way) = (self.queue[i].pac, self.queue[i].addr, self.queue[i].way);
+        let spw = hbt.slots_per_way() as usize;
+        let line = hbt.peek_way(pac, way);
+        let is_store = matches!(self.queue[i].op, McuOp::BndStr { .. });
+        let slot = if is_store {
+            line[..spw].iter().position(|b| b.is_empty())
+        } else {
+            line[..spw].iter().position(|b| b.matches_base(addr))
+        };
+        if let Some(slot) = slot {
+            let e = &mut self.queue[i];
+            e.hit = Some((way, slot as u32));
+            e.state = McqState::BndStr;
+            return;
+        }
+        let count = self.queue[i].count + 1;
+        if count == ways {
+            self.queue[i].count = count - 1;
+            self.queue[i].state = McqState::Fail;
+            return;
+        }
+        let e = &mut self.queue[i];
+        e.count = count;
+        e.way = count;
+        let line_addr = hbt.line_address(pac, count);
+        self.stats.line_loads += 1;
+        self.queue[i].ready_at = now + 1 + mem.load_line(line_addr);
+    }
+
+    fn step_bndstr(
+        &mut self,
+        i: usize,
+        now: u64,
+        hbt: &mut HashedBoundsTable,
+        mem: &mut dyn BoundsMemory,
+    ) {
+        if !self.queue[i].committed {
+            // Bounds stores must preserve store ordering: wait for the
+            // ROB to commit the instruction (paper §V-A1).
+            return;
+        }
+        let (pac, way, slot) = {
+            let e = &self.queue[i];
+            let (way, slot) = e.hit.expect("BndStr state implies a found slot");
+            (e.pac, way, slot)
+        };
+        let data = self.queue[i].bnd_data; // EMPTY for bndclr
+        hbt.poke_slot(pac, way, slot, data);
+        let line = hbt.line_address(pac, way);
+        self.stats.line_stores += 1;
+        let _occupancy = mem.store_line(line);
+        self.queue[i].state = McqState::Done;
+        self.queue[i].ready_at = now + 1;
+
+        // Store-load replay (§V-E): newer entries with the same PAC
+        // restart unless already Done — including younger bndstr
+        // entries whose occupancy result may have been invalidated by
+        // this store.
+        for j in (i + 1)..self.queue.len() {
+            let e = &mut self.queue[j];
+            if e.pac == pac
+                && matches!(
+                    e.state,
+                    McqState::BndChk | McqState::OccChk | McqState::BndStr | McqState::Fail
+                )
+            {
+                e.state = McqState::Init;
+                e.count = 0;
+                e.way = 0;
+                e.hit = None;
+                e.reported = false;
+                e.ready_at = now + 1;
+                self.stats.replays += 1;
+            }
+        }
+    }
+
+    /// Runs one operation to completion with zero-latency memory — the
+    /// functional always-on machine. The queue must be empty (the
+    /// functional machine executes one instruction at a time).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`AosException`] if the operation faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is not empty or the FSM fails to converge
+    /// (which would be a bug).
+    pub fn run_sync(
+        &mut self,
+        op: McuOp,
+        hbt: &mut HashedBoundsTable,
+    ) -> Result<CheckOutcome, AosException> {
+        assert!(self.queue.is_empty(), "run_sync requires an idle MCU");
+        let skipped = matches!(op, McuOp::Access { pointer, .. }
+            if Ahc::from_bits(self.layout.ahc(pointer)).is_none());
+        let id = self.issue(op, 0).expect("empty queue has capacity");
+        self.mark_committed(id);
+        let mut mem = ZeroLatencyMemory;
+        let mut events = Vec::new();
+        for now in 0..BOUNDS_PER_WAY as u64 * 4096 {
+            self.tick(now, hbt, &mut mem, &mut events);
+            if let Some(ev) = events.drain(..).next() {
+                match ev {
+                    McuEvent::Exception { exception, .. } => {
+                        self.queue.clear();
+                        return Err(exception);
+                    }
+                    McuEvent::Retired { ways_touched, .. } => {
+                        return Ok(CheckOutcome {
+                            skipped,
+                            forwarded: false,
+                            ways_touched,
+                        });
+                    }
+                }
+            }
+        }
+        panic!("MCQ FSM did not converge");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aos_hbt::HbtConfig;
+
+    fn setup() -> (MemoryCheckUnit, HashedBoundsTable, PointerLayout) {
+        let layout = PointerLayout::default();
+        let hbt = HashedBoundsTable::new(HbtConfig {
+            pac_size: 11,
+            initial_ways: 1,
+            max_ways: 16,
+            base_addr: 0x1000_0000,
+            compressed: true,
+        });
+        (
+            MemoryCheckUnit::new(McuConfig::default(), layout),
+            hbt,
+            layout,
+        )
+    }
+
+    fn signed(layout: PointerLayout, addr: u64, pac: u64) -> u64 {
+        layout.compose(addr, pac, 1)
+    }
+
+    #[test]
+    fn unsigned_access_skips_checking() {
+        let (mut mcu, mut hbt, _) = setup();
+        let out = mcu
+            .run_sync(
+                McuOp::Access {
+                    pointer: 0x9999,
+                    is_store: false,
+                },
+                &mut hbt,
+            )
+            .unwrap();
+        assert!(out.skipped);
+        assert_eq!(out.ways_touched, 0);
+        assert_eq!(mcu.stats().unsigned_accesses, 1);
+    }
+
+    #[test]
+    fn store_then_check_succeeds() {
+        let (mut mcu, mut hbt, layout) = setup();
+        let ptr = signed(layout, 0x4000, 7);
+        mcu.run_sync(McuOp::BndStr { pointer: ptr, size: 64 }, &mut hbt)
+            .unwrap();
+        let out = mcu
+            .run_sync(
+                McuOp::Access {
+                    pointer: ptr + 32,
+                    is_store: true,
+                },
+                &mut hbt,
+            )
+            .unwrap();
+        assert!(!out.skipped);
+        assert_eq!(out.ways_touched, 1);
+    }
+
+    #[test]
+    fn out_of_bounds_access_faults() {
+        let (mut mcu, mut hbt, layout) = setup();
+        let ptr = signed(layout, 0x4000, 7);
+        mcu.run_sync(McuOp::BndStr { pointer: ptr, size: 64 }, &mut hbt)
+            .unwrap();
+        let err = mcu
+            .run_sync(
+                McuOp::Access {
+                    pointer: ptr + 64,
+                    is_store: false,
+                },
+                &mut hbt,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AosException::BoundsCheckFailure {
+                pointer: ptr + 64,
+                is_store: false
+            }
+        );
+        assert!(mcu.is_empty(), "failed entry cleaned up in sync mode");
+    }
+
+    #[test]
+    fn use_after_clear_faults() {
+        let (mut mcu, mut hbt, layout) = setup();
+        let ptr = signed(layout, 0x4000, 7);
+        mcu.run_sync(McuOp::BndStr { pointer: ptr, size: 64 }, &mut hbt)
+            .unwrap();
+        mcu.run_sync(McuOp::BndClr { pointer: ptr }, &mut hbt)
+            .unwrap();
+        assert!(mcu
+            .run_sync(
+                McuOp::Access {
+                    pointer: ptr,
+                    is_store: false
+                },
+                &mut hbt
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn double_clear_faults() {
+        let (mut mcu, mut hbt, layout) = setup();
+        let ptr = signed(layout, 0x4000, 7);
+        mcu.run_sync(McuOp::BndStr { pointer: ptr, size: 64 }, &mut hbt)
+            .unwrap();
+        mcu.run_sync(McuOp::BndClr { pointer: ptr }, &mut hbt)
+            .unwrap();
+        let err = mcu
+            .run_sync(McuOp::BndClr { pointer: ptr }, &mut hbt)
+            .unwrap_err();
+        assert_eq!(err, AosException::BoundsClearFailure { pointer: ptr });
+    }
+
+    #[test]
+    fn row_overflow_raises_store_failure() {
+        let (mut mcu, mut hbt, layout) = setup();
+        for i in 0..8u64 {
+            let ptr = signed(layout, 0x4000 + i * 0x100, 7);
+            mcu.run_sync(McuOp::BndStr { pointer: ptr, size: 64 }, &mut hbt)
+                .unwrap();
+        }
+        let ptr = signed(layout, 0x9000, 7);
+        let err = mcu
+            .run_sync(McuOp::BndStr { pointer: ptr, size: 64 }, &mut hbt)
+            .unwrap_err();
+        assert_eq!(err, AosException::BoundsStoreFailure { pac: 7 });
+        // OS resizes; retrying the operation then succeeds.
+        hbt.begin_resize();
+        mcu.run_sync(McuOp::BndStr { pointer: ptr, size: 64 }, &mut hbt)
+            .unwrap();
+    }
+
+    #[test]
+    fn bwb_hint_cuts_second_lookup_to_one_way() {
+        let (mut mcu, mut hbt, layout) = setup();
+        hbt.begin_resize();
+        hbt.finish_migration(); // 2 ways
+        // Fill way 0 so the target lands in way 1.
+        for i in 0..8u64 {
+            let ptr = signed(layout, 0x4000 + i * 0x100, 7);
+            mcu.run_sync(McuOp::BndStr { pointer: ptr, size: 64 }, &mut hbt)
+                .unwrap();
+        }
+        let target = signed(layout, 0x9000, 7);
+        mcu.run_sync(McuOp::BndStr { pointer: target, size: 64 }, &mut hbt)
+            .unwrap();
+        let first = mcu
+            .run_sync(
+                McuOp::Access {
+                    pointer: target,
+                    is_store: false,
+                },
+                &mut hbt,
+            )
+            .unwrap();
+        assert_eq!(first.ways_touched, 2, "cold lookup iterates");
+        let second = mcu
+            .run_sync(
+                McuOp::Access {
+                    pointer: target + 8,
+                    is_store: false,
+                },
+                &mut hbt,
+            )
+            .unwrap();
+        assert_eq!(second.ways_touched, 1, "BWB hint goes straight to way 1");
+        assert!(mcu.bwb_stats().hits >= 1);
+    }
+
+    #[test]
+    fn bwb_disabled_always_scans_from_way_zero() {
+        let layout = PointerLayout::default();
+        let mut hbt = HashedBoundsTable::new(HbtConfig {
+            pac_size: 11,
+            initial_ways: 2,
+            max_ways: 16,
+            base_addr: 0x1000_0000,
+            compressed: true,
+        });
+        let mut mcu = MemoryCheckUnit::new(
+            McuConfig {
+                use_bwb: false,
+                ..McuConfig::default()
+            },
+            layout,
+        );
+        for i in 0..8u64 {
+            let ptr = signed(layout, 0x4000 + i * 0x100, 7);
+            mcu.run_sync(McuOp::BndStr { pointer: ptr, size: 64 }, &mut hbt)
+                .unwrap();
+        }
+        let target = signed(layout, 0x9000, 7);
+        mcu.run_sync(McuOp::BndStr { pointer: target, size: 64 }, &mut hbt)
+            .unwrap();
+        for _ in 0..2 {
+            let out = mcu
+                .run_sync(
+                    McuOp::Access {
+                        pointer: target,
+                        is_store: false,
+                    },
+                    &mut hbt,
+                )
+                .unwrap();
+            assert_eq!(out.ways_touched, 2, "no hint without the BWB");
+        }
+        assert_eq!(mcu.bwb_stats().hits + mcu.bwb_stats().misses, 0);
+    }
+
+    #[test]
+    fn timing_mode_gates_retirement_on_check() {
+        // Drive tick() manually with a slow memory and verify the
+        // access cannot retire before its check completes.
+        struct SlowMemory;
+        impl BoundsMemory for SlowMemory {
+            fn load_line(&mut self, _addr: u64) -> u64 {
+                10
+            }
+            fn store_line(&mut self, _addr: u64) -> u64 {
+                10
+            }
+        }
+        let (mut mcu, mut hbt, layout) = setup();
+        let ptr = signed(layout, 0x4000, 3);
+        // Prepare bounds functionally.
+        mcu.run_sync(McuOp::BndStr { pointer: ptr, size: 64 }, &mut hbt)
+            .unwrap();
+        let id = mcu
+            .issue(
+                McuOp::Access {
+                    pointer: ptr,
+                    is_store: false,
+                },
+                0,
+            )
+            .unwrap();
+        let mut events = Vec::new();
+        let mut mem = SlowMemory;
+        mcu.tick(0, &mut hbt, &mut mem, &mut events);
+        assert!(!mcu.check_complete(id), "line load still in flight");
+        for now in 1..=12 {
+            mcu.tick(now, &mut hbt, &mut mem, &mut events);
+        }
+        assert!(mcu.check_complete(id), "check done after latency");
+        mcu.mark_committed(id);
+        mcu.tick(13, &mut hbt, &mut mem, &mut events);
+        assert!(mcu.is_empty(), "entry retired after commit");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, McuEvent::Retired { .. })));
+    }
+
+    #[test]
+    fn store_load_replay_restarts_younger_checks() {
+        struct SlowMemory;
+        impl BoundsMemory for SlowMemory {
+            fn load_line(&mut self, _addr: u64) -> u64 {
+                5
+            }
+            fn store_line(&mut self, _addr: u64) -> u64 {
+                5
+            }
+        }
+        let layout = PointerLayout::default();
+        let mut hbt = HashedBoundsTable::new(HbtConfig {
+            pac_size: 11,
+            initial_ways: 1,
+            max_ways: 16,
+            base_addr: 0x1000_0000,
+            compressed: true,
+        });
+        let mut mcu = MemoryCheckUnit::new(
+            McuConfig {
+                bounds_forwarding: false, // force the replay path
+                ..McuConfig::default()
+            },
+            layout,
+        );
+        let ptr = signed(layout, 0x4000, 3);
+        let str_id = mcu.issue(McuOp::BndStr { pointer: ptr, size: 64 }, 0).unwrap();
+        let chk_id = mcu
+            .issue(
+                McuOp::Access {
+                    pointer: ptr + 8,
+                    is_store: false,
+                },
+                0,
+            )
+            .unwrap();
+        let mut events = Vec::new();
+        let mut mem = SlowMemory;
+        // Let both proceed; hold the bndstr back from commit so the
+        // younger check finds an empty table and "fails" first.
+        for now in 0..40 {
+            mcu.tick(now, &mut hbt, &mut mem, &mut events);
+        }
+        assert_eq!(mcu.state_of(chk_id), Some(McqState::Fail));
+        // Now the bndstr commits, sends its store, and replays the
+        // younger check, which then succeeds.
+        mcu.mark_committed(str_id);
+        mcu.mark_committed(chk_id);
+        for now in 40..120 {
+            mcu.tick(now, &mut hbt, &mut mem, &mut events);
+        }
+        assert!(mcu.is_empty(), "both retired");
+        assert!(mcu.stats().replays >= 1);
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, McuEvent::Exception { .. })),
+            "replay rescued the check before it reached the head"
+        );
+    }
+
+    #[test]
+    fn bounds_forwarding_satisfies_younger_check_immediately() {
+        struct SlowMemory;
+        impl BoundsMemory for SlowMemory {
+            fn load_line(&mut self, _addr: u64) -> u64 {
+                50
+            }
+            fn store_line(&mut self, _addr: u64) -> u64 {
+                50
+            }
+        }
+        let (mut mcu, mut hbt, layout) = setup();
+        let ptr = signed(layout, 0x4000, 3);
+        let _str_id = mcu.issue(McuOp::BndStr { pointer: ptr, size: 64 }, 0).unwrap();
+        let chk_id = mcu
+            .issue(
+                McuOp::Access {
+                    pointer: ptr + 8,
+                    is_store: false,
+                },
+                0,
+            )
+            .unwrap();
+        let mut events = Vec::new();
+        let mut mem = SlowMemory;
+        mcu.tick(0, &mut hbt, &mut mem, &mut events);
+        // The forwarded check completes (and may even deallocate)
+        // without waiting for the table.
+        assert!(mcu.check_complete(chk_id));
+        assert_eq!(mcu.stats().forwards, 1);
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let layout = PointerLayout::default();
+        let mut mcu = MemoryCheckUnit::new(
+            McuConfig {
+                mcq_entries: 2,
+                ..McuConfig::default()
+            },
+            layout,
+        );
+        assert!(mcu
+            .issue(McuOp::Access { pointer: 1, is_store: false }, 0)
+            .is_ok());
+        assert!(mcu
+            .issue(McuOp::Access { pointer: 2, is_store: false }, 0)
+            .is_ok());
+        assert!(!mcu.has_capacity());
+        let rejected = mcu.issue(McuOp::Access { pointer: 3, is_store: false }, 0);
+        assert!(rejected.is_err());
+        assert_eq!(mcu.len(), 2);
+    }
+
+    #[test]
+    fn stats_accumulate_across_ops() {
+        let (mut mcu, mut hbt, layout) = setup();
+        let ptr = signed(layout, 0x4000, 3);
+        mcu.run_sync(McuOp::BndStr { pointer: ptr, size: 64 }, &mut hbt)
+            .unwrap();
+        mcu.run_sync(McuOp::Access { pointer: ptr, is_store: false }, &mut hbt)
+            .unwrap();
+        mcu.run_sync(McuOp::Access { pointer: 0x77, is_store: false }, &mut hbt)
+            .unwrap();
+        mcu.run_sync(McuOp::BndClr { pointer: ptr }, &mut hbt)
+            .unwrap();
+        let s = mcu.stats();
+        assert_eq!(s.issued, 4);
+        assert_eq!(s.bndstrs, 1);
+        assert_eq!(s.bndclrs, 1);
+        assert_eq!(s.signed_accesses, 1);
+        assert_eq!(s.unsigned_accesses, 1);
+        assert_eq!(s.completed_checks, 1);
+        assert!((s.accesses_per_check() - 1.0).abs() < 1e-12);
+        assert_eq!(McuStats::default().accesses_per_check(), 0.0);
+    }
+
+    #[test]
+    fn exception_display_strings() {
+        let e = AosException::BoundsCheckFailure {
+            pointer: 0x10,
+            is_store: true,
+        };
+        assert!(e.to_string().contains("store"));
+        assert!(AosException::BoundsStoreFailure { pac: 1 }
+            .to_string()
+            .contains("full"));
+        assert!(AosException::BoundsClearFailure { pointer: 2 }
+            .to_string()
+            .contains("clear"));
+    }
+}

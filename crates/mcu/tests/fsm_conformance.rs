@@ -1,0 +1,242 @@
+//! Conformance tests for the Fig. 8 FSMs: drive the MCQ cycle by cycle
+//! with a controllable memory port and assert the documented state
+//! transitions, including way iteration (IncCnt), failure at the queue
+//! head, commit-gated bounds stores, and replay.
+
+use aos_hbt::{CompressedBounds, HashedBoundsTable, HbtConfig};
+use aos_mcu::{BoundsMemory, McqState, McuConfig, McuEvent, McuOp, MemoryCheckUnit};
+use aos_ptrauth::PointerLayout;
+
+/// A memory port with scriptable latency.
+struct PortWithLatency(u64);
+
+impl BoundsMemory for PortWithLatency {
+    fn load_line(&mut self, _addr: u64) -> u64 {
+        self.0
+    }
+    fn store_line(&mut self, _addr: u64) -> u64 {
+        self.0
+    }
+}
+
+fn setup(ways: u32) -> (MemoryCheckUnit, HashedBoundsTable, PointerLayout) {
+    let layout = PointerLayout::default();
+    let mut hbt = HashedBoundsTable::new(HbtConfig {
+        pac_size: 11,
+        initial_ways: 1,
+        max_ways: 16,
+        base_addr: 0x1000_0000,
+        compressed: true,
+    });
+    while hbt.ways() < ways {
+        hbt.begin_resize();
+        hbt.finish_migration();
+    }
+    (
+        MemoryCheckUnit::new(McuConfig::default(), layout),
+        hbt,
+        layout,
+    )
+}
+
+#[test]
+fn unsigned_access_goes_init_to_done_in_one_step() {
+    let (mut mcu, mut hbt, _) = setup(1);
+    let id = mcu
+        .issue(McuOp::Access { pointer: 0x5000, is_store: false }, 0)
+        .unwrap();
+    assert_eq!(mcu.state_of(id), Some(McqState::Init));
+    let mut events = Vec::new();
+    mcu.tick(0, &mut hbt, &mut PortWithLatency(0), &mut events);
+    // Done and deallocated in the same tick (unsigned, no commit wait).
+    assert_eq!(mcu.state_of(id), None);
+    assert!(matches!(events[0], McuEvent::Retired { .. }));
+}
+
+#[test]
+fn signed_access_walks_init_bndchk_done() {
+    let (mut mcu, mut hbt, layout) = setup(1);
+    hbt.store(7, CompressedBounds::encode(0x4000, 64)).unwrap();
+    let ptr = layout.compose(0x4000, 7, 1);
+    let id = mcu
+        .issue(McuOp::Access { pointer: ptr, is_store: false }, 0)
+        .unwrap();
+    let mut events = Vec::new();
+    let mut port = PortWithLatency(3);
+    // Tick 0: Init → BndChk with a line load in flight.
+    mcu.tick(0, &mut hbt, &mut port, &mut events);
+    assert_eq!(mcu.state_of(id), Some(McqState::BndChk));
+    // The line arrives at cycle 0+1+3; earlier ticks leave it pending.
+    mcu.tick(2, &mut hbt, &mut port, &mut events);
+    assert_eq!(mcu.state_of(id), Some(McqState::BndChk));
+    mcu.tick(4, &mut hbt, &mut port, &mut events);
+    assert_eq!(mcu.state_of(id), None, "checked and deallocated");
+}
+
+#[test]
+fn way_iteration_inccnt_until_found() {
+    let (mut mcu, mut hbt, layout) = setup(2);
+    // Fill way 0 for PAC 7, target bounds land in way 1.
+    for i in 0..8u64 {
+        hbt.store(7, CompressedBounds::encode(0x10_000 + i * 0x100, 64))
+            .unwrap();
+    }
+    hbt.store(7, CompressedBounds::encode(0x9_0000, 64)).unwrap();
+    let ptr = layout.compose(0x9_0000, 7, 1);
+    let id = mcu
+        .issue(McuOp::Access { pointer: ptr, is_store: false }, 0)
+        .unwrap();
+    let mut events = Vec::new();
+    let mut port = PortWithLatency(0);
+    mcu.tick(0, &mut hbt, &mut port, &mut events); // Init → BndChk(way 0)
+    mcu.tick(1, &mut hbt, &mut port, &mut events); // miss way 0 → IncCnt → way 1
+    assert_eq!(mcu.state_of(id), Some(McqState::BndChk));
+    mcu.tick(2, &mut hbt, &mut port, &mut events); // hit way 1 → Done (dealloc)
+    assert_eq!(mcu.state_of(id), None);
+    let retired_ways = events
+        .iter()
+        .find_map(|e| match e {
+            McuEvent::Retired { ways_touched, .. } => Some(*ways_touched),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(retired_ways, 2, "Count reached 1 before the hit");
+}
+
+#[test]
+fn count_exhaustion_fails_and_faults_at_head() {
+    let (mut mcu, mut hbt, layout) = setup(2);
+    hbt.store(7, CompressedBounds::encode(0x10_000, 64)).unwrap();
+    // Address with PAC 7 covered by nothing.
+    let ptr = layout.compose(0x9_0000, 7, 1);
+    let id = mcu
+        .issue(McuOp::Access { pointer: ptr, is_store: true }, 0)
+        .unwrap();
+    let mut events = Vec::new();
+    let mut port = PortWithLatency(0);
+    for now in 0..3 {
+        mcu.tick(now, &mut hbt, &mut port, &mut events);
+    }
+    assert_eq!(mcu.state_of(id), Some(McqState::Fail));
+    assert!(
+        events.iter().any(|e| matches!(e, McuEvent::Exception { .. })),
+        "failure at the head raises the AOS exception"
+    );
+    assert!(!mcu.can_retire(id), "a failed check never retires");
+    assert_eq!(mcu.stats().exceptions, 1);
+}
+
+#[test]
+fn bndstr_occchk_waits_for_commit_then_stores() {
+    let (mut mcu, mut hbt, layout) = setup(1);
+    let ptr = layout.compose(0x4000, 7, 1);
+    let id = mcu.issue(McuOp::BndStr { pointer: ptr, size: 64 }, 0).unwrap();
+    let mut events = Vec::new();
+    let mut port = PortWithLatency(0);
+    mcu.tick(0, &mut hbt, &mut port, &mut events); // Init → OccChk
+    mcu.tick(1, &mut hbt, &mut port, &mut events); // slot found → BndStr
+    assert_eq!(mcu.state_of(id), Some(McqState::BndStr));
+    assert!(mcu.can_retire(id), "occupancy done: ROB may commit");
+    // Without commit the store is never sent.
+    for now in 2..10 {
+        mcu.tick(now, &mut hbt, &mut port, &mut events);
+    }
+    assert_eq!(mcu.state_of(id), Some(McqState::BndStr));
+    assert!(hbt.check(7, 0x4000, 0).is_none(), "no store before commit");
+    // Commit releases the store.
+    mcu.mark_committed(id);
+    mcu.tick(10, &mut hbt, &mut port, &mut events);
+    mcu.tick(11, &mut hbt, &mut port, &mut events);
+    assert_eq!(mcu.state_of(id), None);
+    assert!(hbt.check(7, 0x4000, 0).is_some(), "bounds landed at commit");
+}
+
+#[test]
+fn bndclr_occchk_matches_base_only() {
+    let (mut mcu, mut hbt, layout) = setup(1);
+    hbt.store(7, CompressedBounds::encode(0x4000, 64)).unwrap();
+    // bndclr with an interior pointer must NOT match (occupancy check
+    // compares the lower bound, §V-A2).
+    let interior = layout.compose(0x4010, 7, 1);
+    let id = mcu.issue(McuOp::BndClr { pointer: interior }, 0).unwrap();
+    mcu.mark_committed(id);
+    let mut events = Vec::new();
+    let mut port = PortWithLatency(0);
+    for now in 0..4 {
+        mcu.tick(now, &mut hbt, &mut port, &mut events);
+    }
+    assert_eq!(mcu.state_of(id), Some(McqState::Fail));
+    assert!(hbt.check(7, 0x4000, 0).is_some(), "bounds untouched");
+}
+
+#[test]
+fn replay_rescues_fail_before_it_reaches_the_head() {
+    // An older bndstr whose store lands late must replay a younger
+    // check that already failed — and the check must then succeed
+    // without raising an exception.
+    let layout = PointerLayout::default();
+    let mut hbt = HashedBoundsTable::new(HbtConfig {
+        pac_size: 11,
+        initial_ways: 1,
+        max_ways: 16,
+        base_addr: 0x1000_0000,
+        compressed: true,
+    });
+    let mut mcu = MemoryCheckUnit::new(
+        McuConfig {
+            bounds_forwarding: false,
+            ..McuConfig::default()
+        },
+        layout,
+    );
+    let ptr = layout.compose(0x4000, 7, 1);
+    let str_id = mcu.issue(McuOp::BndStr { pointer: ptr, size: 64 }, 0).unwrap();
+    let chk_id = mcu
+        .issue(McuOp::Access { pointer: ptr + 8, is_store: false }, 0)
+        .unwrap();
+    let mut events = Vec::new();
+    let mut port = PortWithLatency(0);
+    // Let the younger check fail first (the bndstr is not committed).
+    for now in 0..4 {
+        mcu.tick(now, &mut hbt, &mut port, &mut events);
+    }
+    assert_eq!(mcu.state_of(chk_id), Some(McqState::Fail));
+    assert!(
+        !events.iter().any(|e| matches!(e, McuEvent::Exception { .. })),
+        "not at the head yet: no exception"
+    );
+    // Commit the bndstr; its store must replay the failed check.
+    mcu.mark_committed(str_id);
+    for now in 4..12 {
+        mcu.tick(now, &mut hbt, &mut port, &mut events);
+    }
+    assert!(mcu.is_empty(), "both completed after the replay");
+    assert!(mcu.stats().replays >= 1);
+    assert!(!events.iter().any(|e| matches!(e, McuEvent::Exception { .. })));
+}
+
+#[test]
+fn retry_after_resize_reruns_the_fsm() {
+    let (mut mcu, mut hbt, layout) = setup(1);
+    for i in 0..8u64 {
+        hbt.store(7, CompressedBounds::encode(0x10_000 + i * 0x100, 64))
+            .unwrap();
+    }
+    let ptr = layout.compose(0x9_0000, 7, 1);
+    let id = mcu.issue(McuOp::BndStr { pointer: ptr, size: 64 }, 0).unwrap();
+    mcu.mark_committed(id);
+    let mut events = Vec::new();
+    let mut port = PortWithLatency(0);
+    for now in 0..4 {
+        mcu.tick(now, &mut hbt, &mut port, &mut events);
+    }
+    assert_eq!(mcu.state_of(id), Some(McqState::Fail));
+    // OS path: resize, retry the entry.
+    hbt.begin_resize();
+    mcu.retry(id);
+    for now in 4..12 {
+        mcu.tick(now, &mut hbt, &mut port, &mut events);
+    }
+    assert!(mcu.is_empty());
+    assert!(hbt.check(7, 0x9_0000, 0).is_some(), "store succeeded after resize");
+}

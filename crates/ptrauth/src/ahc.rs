@@ -1,0 +1,188 @@
+//! Address hashing codes (paper Algorithm 1) and BWB tags (Algorithm 2).
+
+/// The 2-bit address hashing code embedded next to the PAC.
+///
+/// The AHC serves two purposes (paper §IV-A): a nonzero value marks the
+/// pointer as signed, and the value classifies the object's size so
+/// that the bounds way buffer can derive region-invariant tags:
+///
+/// - [`Ahc::Small`] (1): the object fits one aligned 128-byte window
+///   (≈64-byte chunks),
+/// - [`Ahc::Medium`] (2): fits one aligned 1-KiB window (≈256-byte
+///   chunks),
+/// - [`Ahc::Large`] (3): anything bigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Ahc {
+    /// Size class 1: tAddr bits above bit 6 are zero.
+    Small = 1,
+    /// Size class 2: tAddr bits above bit 9 are zero.
+    Medium = 2,
+    /// Size class 3: everything larger.
+    Large = 3,
+}
+
+impl Ahc {
+    /// The raw 2-bit encoding.
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a nonzero 2-bit value.
+    ///
+    /// Returns `None` for 0 (an unsigned pointer) or values above 3.
+    pub fn from_bits(bits: u8) -> Option<Self> {
+        match bits {
+            1 => Some(Ahc::Small),
+            2 => Some(Ahc::Medium),
+            3 => Some(Ahc::Large),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Ahc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ahc::Small => write!(f, "small"),
+            Ahc::Medium => write!(f, "medium"),
+            Ahc::Large => write!(f, "large"),
+        }
+    }
+}
+
+/// Algorithm 1: computes the AHC for an object at `addr` of `size`
+/// bytes under a `va_size`-bit address space.
+///
+/// `tAddr = addr ^ (addr + size - 1)` has ones exactly in the bit
+/// positions where the first and last byte of the object differ; the
+/// AHC records how high those ones reach. A `size` of zero (the paper
+/// passes `xzr` when re-signing a freed pointer) degenerates to the
+/// object's alignment run and still yields a nonzero AHC, which is what
+/// keeps a freed pointer marked as signed.
+///
+/// # Examples
+///
+/// ```
+/// use aos_ptrauth::{compute_ahc, Ahc};
+/// assert_eq!(compute_ahc(0x1000, 64, 46), Ahc::Small);
+/// assert_eq!(compute_ahc(0x1000, 256, 46), Ahc::Medium);
+/// assert_eq!(compute_ahc(0x1000, 4096, 46), Ahc::Large);
+/// ```
+pub fn compute_ahc(addr: u64, size: u64, va_size: u32) -> Ahc {
+    let last = addr.wrapping_add(size).wrapping_sub(1);
+    let taddr = (addr ^ last) & ((1u64 << va_size) - 1);
+    if taddr >> 7 == 0 {
+        Ahc::Small
+    } else if taddr >> 10 == 0 {
+        Ahc::Medium
+    } else {
+        Ahc::Large
+    }
+}
+
+/// Algorithm 2: the 32-bit bounds-way-buffer tag for a pointer.
+///
+/// The tag concatenates the 16-bit PAC, 14 AHC-selected address bits
+/// and the 2-bit AHC. The address bits are chosen so that every
+/// address *within* the same object produces the same tag: class 1
+/// objects live inside one aligned 128-byte window, so bits `[20:7]`
+/// are invariant across the object; class 2 uses `[23:10]`; class 3
+/// uses `[25:12]`.
+///
+/// # Examples
+///
+/// ```
+/// use aos_ptrauth::{bwb_tag, Ahc};
+/// let t1 = bwb_tag(0x1008, Ahc::Small, 0xBEEF);
+/// let t2 = bwb_tag(0x1010, Ahc::Small, 0xBEEF);
+/// assert_eq!(t1, t2, "addresses in the same 128B window share a tag");
+/// ```
+pub fn bwb_tag(addr: u64, ahc: Ahc, pac: u64) -> u32 {
+    let field = match ahc {
+        Ahc::Small => (addr >> 7) & 0x3FFF,
+        Ahc::Medium => (addr >> 10) & 0x3FFF,
+        Ahc::Large => (addr >> 12) & 0x3FFF,
+    };
+    (((pac & 0xFFFF) as u32) << 16) | ((field as u32) << 2) | ahc.bits() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ahc_matches_bin_sizes() {
+        // 16-byte-aligned allocations, as malloc returns.
+        assert_eq!(compute_ahc(0x2000, 16, 46), Ahc::Small);
+        assert_eq!(compute_ahc(0x2000, 64, 46), Ahc::Small);
+        assert_eq!(compute_ahc(0x2000, 128, 46), Ahc::Small);
+        assert_eq!(compute_ahc(0x2000, 129, 46), Ahc::Medium);
+        assert_eq!(compute_ahc(0x2000, 1024, 46), Ahc::Medium);
+        assert_eq!(compute_ahc(0x2000, 1025, 46), Ahc::Large);
+        assert_eq!(compute_ahc(0x2000, 1 << 20, 46), Ahc::Large);
+    }
+
+    #[test]
+    fn ahc_depends_on_alignment_not_just_size() {
+        // A 64-byte object straddling a 128-byte boundary is "medium":
+        // its first and last byte differ at bit 7.
+        assert_eq!(compute_ahc(0x20F0, 64, 46), Ahc::Medium);
+        // Aligned, it is small.
+        assert_eq!(compute_ahc(0x2080, 64, 46), Ahc::Small);
+    }
+
+    #[test]
+    fn zero_size_still_signs() {
+        // Re-signing after free passes size 0 (xzr); the result must be
+        // a valid (nonzero) AHC so the pointer stays "locked".
+        for addr in [0x10u64, 0x100, 0x2340, 0x7FFF_FFF0] {
+            let ahc = compute_ahc(addr, 0, 46);
+            assert!(ahc.bits() >= 1);
+        }
+    }
+
+    #[test]
+    fn ahc_bits_roundtrip() {
+        for ahc in [Ahc::Small, Ahc::Medium, Ahc::Large] {
+            assert_eq!(Ahc::from_bits(ahc.bits()), Some(ahc));
+        }
+        assert_eq!(Ahc::from_bits(0), None);
+        assert_eq!(Ahc::from_bits(4), None);
+    }
+
+    #[test]
+    fn ahc_display() {
+        assert_eq!(Ahc::Small.to_string(), "small");
+        assert_eq!(Ahc::Medium.to_string(), "medium");
+        assert_eq!(Ahc::Large.to_string(), "large");
+    }
+
+    #[test]
+    fn tag_invariant_within_object_windows() {
+        // Medium object: all addresses in one aligned 1KiB window agree.
+        let base = 0x4_0000u64;
+        let t0 = bwb_tag(base, Ahc::Medium, 0x1234);
+        for off in (0..1024).step_by(64) {
+            assert_eq!(bwb_tag(base + off, Ahc::Medium, 0x1234), t0);
+        }
+    }
+
+    #[test]
+    fn tag_differs_across_windows_and_pacs() {
+        let a = bwb_tag(0x4_0000, Ahc::Medium, 0x1234);
+        let b = bwb_tag(0x4_0400, Ahc::Medium, 0x1234);
+        assert_ne!(a, b, "different 1KiB windows");
+        let c = bwb_tag(0x4_0000, Ahc::Medium, 0x1235);
+        assert_ne!(a, c, "different PACs");
+        let d = bwb_tag(0x4_0000, Ahc::Large, 0x1234);
+        assert_ne!(a, d, "different AHCs");
+    }
+
+    #[test]
+    fn tag_packs_fields() {
+        let t = bwb_tag(0, Ahc::Small, 0xFFFF);
+        assert_eq!(t >> 16, 0xFFFF);
+        assert_eq!(t & 0b11, 1);
+    }
+}

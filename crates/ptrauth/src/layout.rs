@@ -1,0 +1,209 @@
+//! The 64-bit pointer bit layout used throughout the AOS reproduction.
+
+/// Describes where the virtual address, PAC and AHC fields live inside
+/// a 64-bit pointer.
+///
+/// ```text
+///  63 62 61        62-pac_size      va_size-1        0
+/// +-----+--------------+----- ... -----+-------------+
+/// | AHC |     PAC      |   (zero)      |   address   |
+/// +-----+--------------+----- ... -----+-------------+
+/// ```
+///
+/// An *unsigned* pointer has every bit above `va_size` clear; a
+/// *signed* pointer has a nonzero AHC (the paper's "signed" mark,
+/// §IV-A) and carries its PAC in the PAC field.
+///
+/// # Examples
+///
+/// ```
+/// use aos_ptrauth::PointerLayout;
+/// let layout = PointerLayout::default(); // 46-bit VA, 16-bit PAC
+/// let p = layout.compose(0x1234_5678, 0xBEEF, 1);
+/// assert_eq!(layout.address(p), 0x1234_5678);
+/// assert_eq!(layout.pac(p), 0xBEEF);
+/// assert_eq!(layout.ahc(p), 1);
+/// assert!(layout.is_signed(p));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PointerLayout {
+    va_size: u32,
+    pac_size: u32,
+}
+
+impl PointerLayout {
+    /// Creates a layout with the given virtual-address width and PAC
+    /// width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `24 <= va_size`, `11 <= pac_size <= 32` (the PAC
+    /// range the paper cites) and `va_size + pac_size + 2 <= 64` so
+    /// that the address, PAC and AHC all fit.
+    pub fn new(va_size: u32, pac_size: u32) -> Self {
+        assert!(va_size >= 24, "va_size must be at least 24, got {va_size}");
+        assert!(
+            (11..=32).contains(&pac_size),
+            "pac_size must be 11..=32, got {pac_size}"
+        );
+        assert!(
+            va_size + pac_size + 2 <= 64,
+            "va {va_size} + pac {pac_size} + 2 AHC bits exceed 64"
+        );
+        Self { va_size, pac_size }
+    }
+
+    /// Virtual-address width in bits.
+    pub fn va_size(self) -> u32 {
+        self.va_size
+    }
+
+    /// PAC width in bits.
+    pub fn pac_size(self) -> u32 {
+        self.pac_size
+    }
+
+    /// Number of distinct PAC values (= rows of the hashed bounds
+    /// table).
+    pub fn pac_space(self) -> u64 {
+        1u64 << self.pac_size
+    }
+
+    /// Mask selecting the address bits.
+    pub fn address_mask(self) -> u64 {
+        (1u64 << self.va_size) - 1
+    }
+
+    /// Lowest bit position of the PAC field.
+    pub fn pac_shift(self) -> u32 {
+        62 - self.pac_size
+    }
+
+    /// Extracts the virtual address.
+    pub fn address(self, pointer: u64) -> u64 {
+        pointer & self.address_mask()
+    }
+
+    /// Extracts the PAC field.
+    pub fn pac(self, pointer: u64) -> u64 {
+        (pointer >> self.pac_shift()) & (self.pac_space() - 1)
+    }
+
+    /// Extracts the 2-bit AHC field (bits `[63:62]`).
+    pub fn ahc(self, pointer: u64) -> u8 {
+        (pointer >> 62) as u8
+    }
+
+    /// Returns `true` if the pointer is signed, i.e. its AHC is
+    /// nonzero — the test the memory check unit applies to decide
+    /// whether an access needs bounds checking (paper Fig. 6).
+    pub fn is_signed(self, pointer: u64) -> bool {
+        self.ahc(pointer) != 0
+    }
+
+    /// Builds a pointer from its fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address`, `pac` or `ahc` overflow their fields.
+    pub fn compose(self, address: u64, pac: u64, ahc: u8) -> u64 {
+        assert!(
+            address <= self.address_mask(),
+            "address {address:#x} exceeds {}-bit VA",
+            self.va_size
+        );
+        assert!(
+            pac < self.pac_space(),
+            "pac {pac:#x} exceeds {}-bit field",
+            self.pac_size
+        );
+        assert!(ahc < 4, "ahc must be 2 bits, got {ahc}");
+        address | (pac << self.pac_shift()) | ((ahc as u64) << 62)
+    }
+
+    /// Clears the PAC and AHC fields, leaving the raw address — the
+    /// `xpacm` result.
+    pub fn strip(self, pointer: u64) -> u64 {
+        self.address(pointer)
+    }
+}
+
+impl Default for PointerLayout {
+    /// The evaluation configuration: 46-bit virtual addresses and the
+    /// 16-bit PAC from Table IV, filling the 64-bit word exactly.
+    fn default() -> Self {
+        Self::new(46, 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_layout_fills_word() {
+        let l = PointerLayout::default();
+        assert_eq!(l.va_size() + l.pac_size() + 2, 64);
+        assert_eq!(l.pac_shift(), 46);
+        assert_eq!(l.pac_space(), 65536);
+    }
+
+    #[test]
+    fn compose_and_extract_roundtrip() {
+        let l = PointerLayout::new(39, 16);
+        for (addr, pac, ahc) in [
+            (0u64, 0u64, 0u8),
+            (0x7F_FFFF_FFFF, 0xFFFF, 3),
+            (0x12_3456_7890, 0x0001, 2),
+        ] {
+            let p = l.compose(addr, pac, ahc);
+            assert_eq!(l.address(p), addr);
+            assert_eq!(l.pac(p), pac);
+            assert_eq!(l.ahc(p), ahc);
+        }
+    }
+
+    #[test]
+    fn unsigned_pointer_has_zero_ahc() {
+        let l = PointerLayout::default();
+        assert!(!l.is_signed(0x1234));
+        assert!(l.is_signed(l.compose(0x1234, 0, 1)));
+    }
+
+    #[test]
+    fn strip_removes_metadata() {
+        let l = PointerLayout::default();
+        let p = l.compose(0xABCD_1234, 0x5A5A, 3);
+        assert_eq!(l.strip(p), 0xABCD_1234);
+        assert!(!l.is_signed(l.strip(p)));
+    }
+
+    #[test]
+    fn pac_sizes_across_supported_range() {
+        for pac in [11u32, 16, 24, 32] {
+            let va = 62 - pac;
+            let l = PointerLayout::new(va.min(46), pac);
+            let p = l.compose(1, l.pac_space() - 1, 1);
+            assert_eq!(l.pac(p), l.pac_space() - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 64")]
+    fn overfull_layout_rejected() {
+        PointerLayout::new(48, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "pac_size")]
+    fn tiny_pac_rejected() {
+        PointerLayout::new(39, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_address_rejected() {
+        let l = PointerLayout::new(32, 16);
+        l.compose(1u64 << 33, 0, 0);
+    }
+}

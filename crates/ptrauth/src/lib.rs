@@ -1,0 +1,51 @@
+//! Pointer signing for AOS: layout, address hashing codes and the
+//! `pacma`/`autm`/`xpacm` instruction semantics.
+//!
+//! AOS signs every data pointer returned by `malloc` (paper §IV): a
+//! PAC — computed by [`aos_qarma`] over the chunk's base address — and a
+//! 2-bit address hashing code (AHC, Algorithm 1) are placed in the
+//! pointer's unused upper bits. Because the PAC travels *inside* the
+//! pointer, it propagates through arithmetic and memory for free, which
+//! is the paper's answer to the metadata-propagation problem of fat
+//! pointers.
+//!
+//! This crate provides:
+//!
+//! - [`PointerLayout`] — where the address, PAC and AHC live in a
+//!   64-bit pointer;
+//! - [`Ahc`] / [`compute_ahc`] — Algorithm 1 (size-class encoding);
+//! - [`bwb_tag`] — Algorithm 2 (the tag used by the bounds way buffer);
+//! - [`PointerSigner`] — the `pacma` / `autm` / `xpacm` instruction
+//!   semantics over a QARMA key.
+//!
+//! # Layout note (documented deviation)
+//!
+//! Real AArch64 scatters PAC bits around bit 55 depending on the VA
+//! size and TBI setting. We use a clean parameterized layout — AHC in
+//! bits `[63:62]`, the PAC directly below it, the virtual address in
+//! the low `va_size` bits — which preserves every property the paper
+//! relies on (PAC+AHC ride along with the pointer; AHC ≠ 0 ⇔ signed)
+//! without modeling the architectural bit-scatter.
+//!
+//! # Examples
+//!
+//! ```
+//! use aos_ptrauth::{PointerLayout, PointerSigner};
+//! use aos_qarma::PacKey;
+//!
+//! let signer = PointerSigner::new(PacKey::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9),
+//!                                 PointerLayout::default());
+//! let ptr = 0x0000_2000_1000; // 16-byte-aligned heap address
+//! let signed = signer.pacma(ptr, 0x477d469dec0b8762, 64);
+//! assert!(signer.layout().is_signed(signed));
+//! assert_eq!(signer.xpacm(signed), ptr);
+//! assert!(signer.autm(signed).is_ok());
+//! ```
+
+mod ahc;
+mod layout;
+mod signer;
+
+pub use ahc::{bwb_tag, compute_ahc, Ahc};
+pub use layout::PointerLayout;
+pub use signer::{AuthError, PointerSigner};

@@ -1,0 +1,107 @@
+//! Statistical quality tests for `ComputePAC` used as a hash — the
+//! property the whole HBT design rests on (paper §VI assumption 1).
+
+use aos_qarma::{truncate_pac, PacKey, Qarma64};
+
+fn cipher() -> Qarma64 {
+    Qarma64::new(PacKey::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9))
+}
+
+#[test]
+fn chi_square_uniformity_over_pac_buckets() {
+    // 2^16 sequential 16-byte-aligned addresses (the worst realistic
+    // input: maximally structured) into 256 buckets of the 16-bit PAC.
+    let q = cipher();
+    let n = 65536u64;
+    let buckets = 256usize;
+    let mut counts = vec![0u64; buckets];
+    for i in 0..n {
+        let addr = 0x4000_0000 + i * 16;
+        let pac = truncate_pac(q.compute(addr, 0x477d469dec0b8762), 16);
+        counts[(pac as usize) % buckets] += 1;
+    }
+    let expected = n as f64 / buckets as f64;
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    // 255 degrees of freedom: mean 255, σ ≈ 22.6. Accept within ±6σ.
+    assert!(
+        (120.0..400.0).contains(&chi2),
+        "chi-square {chi2:.1} outside the uniform band"
+    );
+}
+
+#[test]
+fn output_bits_are_unbiased() {
+    let q = cipher();
+    let n = 20_000u64;
+    let mut ones = [0u64; 64];
+    for i in 0..n {
+        let out = q.compute(0x4000_0000 + i * 16, 0x477d469dec0b8762);
+        for (bit, count) in ones.iter_mut().enumerate() {
+            *count += (out >> bit) & 1;
+        }
+    }
+    for (bit, &count) in ones.iter().enumerate() {
+        let rate = count as f64 / n as f64;
+        assert!(
+            (0.47..0.53).contains(&rate),
+            "output bit {bit} biased: {rate:.4}"
+        );
+    }
+}
+
+#[test]
+fn strict_avalanche_on_input_bits() {
+    // Flipping any single address bit flips ~half the output bits.
+    let q = cipher();
+    let base_in = 0x0000_2345_6780u64;
+    let base_out = q.compute(base_in, 0x477d469dec0b8762);
+    for bit in 0..46 {
+        let flipped = q.compute(base_in ^ (1 << bit), 0x477d469dec0b8762);
+        let hamming = (base_out ^ flipped).count_ones();
+        assert!(
+            (16..=48).contains(&hamming),
+            "input bit {bit}: only {hamming} output bits flipped"
+        );
+    }
+}
+
+#[test]
+fn avalanche_on_modifier_bits() {
+    let q = cipher();
+    let base_out = q.compute(0x4000_0000, 0x477d469dec0b8762);
+    for bit in 0..64 {
+        let flipped = q.compute(0x4000_0000, 0x477d469dec0b8762 ^ (1u64 << bit));
+        let hamming = (base_out ^ flipped).count_ones();
+        assert!(
+            (16..=48).contains(&hamming),
+            "modifier bit {bit}: only {hamming} output bits flipped"
+        );
+    }
+}
+
+#[test]
+fn sequential_pacs_show_no_stride_correlation() {
+    // Adjacent allocations (stride 16) must not produce adjacent or
+    // otherwise linearly related PACs.
+    let q = cipher();
+    let pacs: Vec<u64> = (0..4096u64)
+        .map(|i| truncate_pac(q.compute(0x4000_0000 + i * 16, 0x477d469dec0b8762), 16))
+        .collect();
+    let mut small_deltas = 0;
+    for w in pacs.windows(2) {
+        if w[1].abs_diff(w[0]) <= 4 {
+            small_deltas += 1;
+        }
+    }
+    // Uniform expectation: P(|Δ| ≤ 4) ≈ 9/65536 → ~0.6 of 4095 pairs.
+    assert!(
+        small_deltas < 12,
+        "{small_deltas} near-collisions among sequential PACs"
+    );
+}

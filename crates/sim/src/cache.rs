@@ -1,0 +1,314 @@
+//! A set-associative, write-back, write-allocate cache with LRU
+//! replacement.
+
+/// Geometry and latency of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (64 throughout Table IV).
+    pub line_bytes: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * self.line_bytes as u64)
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`; zero when idle.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The line was present.
+    Hit,
+    /// The line was filled; `writeback` carries the address of a dirty
+    /// victim that must go to the next level.
+    Miss {
+        /// Evicted dirty line, if any.
+        writeback: Option<u64>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// The cache proper.
+///
+/// # Examples
+///
+/// ```
+/// use aos_sim::{Cache, CacheConfig};
+/// use aos_sim::cache::Lookup;
+///
+/// let mut c = Cache::new(CacheConfig {
+///     size_bytes: 1024,
+///     ways: 2,
+///     line_bytes: 64,
+///     hit_latency: 1,
+/// });
+/// assert!(matches!(c.access(0x1000, false), Lookup::Miss { .. }));
+/// assert_eq!(c.access(0x1000, false), Lookup::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the geometry is power-of-two sets with at least
+    /// one way.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.ways >= 1, "cache needs at least one way");
+        assert!(config.line_bytes.is_power_of_two(), "line size must be 2^k");
+        let sets = config.sets();
+        assert!(sets > 0 && sets.is_power_of_two(), "sets must be 2^k, got {sets}");
+        Self {
+            config,
+            sets: vec![vec![Line::default(); config.ways as usize]; sets as usize],
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_bytes as u64;
+        let set = (line % self.config.sets()) as usize;
+        let tag = line / self.config.sets();
+        (set, tag)
+    }
+
+    /// Accesses the line containing `addr`, allocating on miss.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> Lookup {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = tick;
+            line.dirty |= is_write;
+            self.stats.hits += 1;
+            return Lookup::Hit;
+        }
+        self.stats.misses += 1;
+        // Victim: invalid line first, else LRU.
+        let victim_idx = set
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .map(|(i, _)| i)
+                    .expect("nonzero associativity")
+            });
+        let victim = &mut set[victim_idx];
+        let writeback = if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            // Reconstruct the victim's address.
+            let line_no = victim.tag * self.config.sets() + set_idx as u64;
+            Some(line_no * self.config.line_bytes as u64)
+        } else {
+            None
+        };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: tick,
+        };
+        Lookup::Miss { writeback }
+    }
+
+    /// Marks the line containing `addr` present without statistics —
+    /// used to install writeback data arriving from an upper level.
+    pub fn install(&mut self, addr: u64, dirty: bool) -> Option<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let sets_count = self.config.sets();
+        let line_bytes = self.config.line_bytes as u64;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.dirty |= dirty;
+            line.lru = tick;
+            return None;
+        }
+        let victim_idx = set
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .map(|(i, _)| i)
+                    .expect("nonzero associativity")
+            });
+        let victim = &mut set[victim_idx];
+        let writeback = if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            let line_no = victim.tag * sets_count + set_idx as u64;
+            Some(line_no * line_bytes)
+        } else {
+            None
+        };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty,
+            lru: tick,
+        };
+        writeback
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64B = 512B.
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().sets(), 4);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(matches!(c.access(0x100, false), Lookup::Miss { writeback: None }));
+        assert_eq!(c.access(0x100, false), Lookup::Hit);
+        assert_eq!(c.access(0x13F, false), Lookup::Hit, "same 64B line");
+        assert!(matches!(c.access(0x140, false), Lookup::Miss { .. }));
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (stride = sets * 64 = 256).
+        c.access(0x000, false);
+        c.access(0x100, false);
+        c.access(0x000, false); // refresh
+        c.access(0x200, false); // evicts 0x100
+        assert_eq!(c.access(0x000, false), Lookup::Hit);
+        assert!(matches!(c.access(0x100, false), Lookup::Miss { .. }));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x100, false);
+        let result = c.access(0x200, false); // evicts dirty 0x000
+        assert_eq!(result, Lookup::Miss { writeback: Some(0x000) });
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x100, false);
+        assert_eq!(c.access(0x200, false), Lookup::Miss { writeback: None });
+    }
+
+    #[test]
+    fn write_marks_dirty_on_hit() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x000, true); // dirty now
+        c.access(0x100, false);
+        let r = c.access(0x200, false);
+        assert_eq!(r, Lookup::Miss { writeback: Some(0x000) });
+    }
+
+    #[test]
+    fn install_places_line_without_stats() {
+        let mut c = tiny();
+        let before = c.stats();
+        c.install(0x300, true);
+        assert_eq!(c.stats().hits, before.hits);
+        assert_eq!(c.stats().misses, before.misses);
+        assert_eq!(c.access(0x300, false), Lookup::Hit);
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = tiny();
+        c.access(0x0, false);
+        c.access(0x0, false);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn non_power_of_two_sets_rejected() {
+        Cache::new(CacheConfig {
+            size_bytes: 192,
+            ways: 1,
+            line_bytes: 64,
+            hit_latency: 1,
+        });
+    }
+}

@@ -1,0 +1,54 @@
+//! The evaluation machine: a cycle-approximate model of the Table IV
+//! core with its cache hierarchy, DRAM, and the AOS hardware attached.
+//!
+//! The paper evaluates AOS in gem5 on an 8-wide out-of-order AArch64
+//! core (2 GHz, 192-entry ROB, 32-entry load and store queues, 48-entry
+//! MCQ, 64 KiB L1-D, optional 32 KiB L1-B, 8 MiB L2, 50 ns DRAM). This
+//! crate rebuilds that substrate from scratch at the level of detail
+//! the paper's *relative* results depend on:
+//!
+//! - [`cache`] — set-associative, write-back, write-allocate caches
+//!   with LRU replacement and per-level byte-traffic counters;
+//! - [`hierarchy`] — L1-D (+ optional L1-B for bounds), shared L2,
+//!   fixed-latency DRAM; bounds traffic routes through the L1-B when
+//!   present, otherwise it contends with data in the L1-D — the
+//!   mechanism behind the Fig. 15 ablation;
+//! - [`machine`] — in-order issue (8 wide), out-of-order completion,
+//!   in-order retirement bounded by ROB/LSQ/MCQ occupancy, branch
+//!   mispredict flushes, and the MCU coupled to the pipeline: signed
+//!   accesses cannot retire until their bounds check completes
+//!   (delayed retirement), `bndstr` row overflows trigger OS-style
+//!   gradual resizes, and MCQ back-pressure throttles issue.
+//!
+//! The model is *cycle-approximate*, not RTL: it reproduces the
+//! throughput effects (extra µops, metadata cache pressure, delayed
+//! retirement, crypto latency) that produce the paper's normalized
+//! results, as documented in `DESIGN.md`.
+//!
+//! # Examples
+//!
+//! ```
+//! use aos_isa::{Op, SafetyConfig};
+//! use aos_sim::{Machine, MachineConfig};
+//!
+//! let mut machine = Machine::new(MachineConfig::table_iv(SafetyConfig::Baseline));
+//! let trace = (0..1000).map(|i| {
+//!     if i % 4 == 0 {
+//!         Op::Load { pointer: 0x4000 + (i % 64) * 8, bytes: 8, chained: false }
+//!     } else {
+//!         Op::IntAlu
+//!     }
+//! });
+//! let stats = machine.run(trace);
+//! assert!(stats.cycles > 0);
+//! assert_eq!(stats.retired_ops, 1000);
+//! ```
+
+pub mod cache;
+pub mod hierarchy;
+pub mod machine;
+pub mod tage;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{MemoryHierarchy, TrafficStats};
+pub use machine::{BranchModel, Machine, MachineConfig, RunStats};

@@ -1,0 +1,782 @@
+//! The pipeline model: in-order issue, out-of-order completion,
+//! in-order retirement, with the MCU coupled in.
+
+use std::collections::VecDeque;
+
+use aos_hbt::{HashedBoundsTable, HbtConfig};
+use aos_isa::{InstMix, Op, SafetyConfig};
+use aos_mcu::{
+    AosException, BoundsMemory, BwbStats, McuConfig, McuEvent, McuOp, McuStats, MemoryCheckUnit,
+};
+use aos_ptrauth::PointerLayout;
+
+use crate::cache::CacheStats;
+use crate::hierarchy::{MemoryHierarchy, TrafficStats};
+use crate::tage::{Tage, TageConfig};
+
+/// How branch outcomes are predicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchModel {
+    /// Replay the trace-provided misprediction flags (a gem5-style
+    /// trace run against the profile-calibrated L-TAGE accuracy).
+    #[default]
+    TraceProvided,
+    /// Run the in-simulator L-TAGE; mispredictions emerge from the
+    /// predictor's actual behaviour on the branch stream.
+    Tage,
+}
+
+/// Full machine configuration (Table IV defaults via
+/// [`MachineConfig::table_iv`]).
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Issue (and retire) width.
+    pub issue_width: u32,
+    /// Reorder buffer entries.
+    pub rob_entries: usize,
+    /// Load queue entries.
+    pub lsq_loads: usize,
+    /// Store queue entries.
+    pub lsq_stores: usize,
+    /// Cycles lost on a charged branch misprediction.
+    pub mispredict_penalty: u64,
+    /// Whether the L1-B bounds cache is present (§V-F1).
+    pub with_l1b: bool,
+    /// Pointer layout (PAC/AHC decoding).
+    pub layout: PointerLayout,
+    /// MCU geometry and feature knobs.
+    pub mcu: McuConfig,
+    /// Bounds table geometry.
+    pub hbt: HbtConfig,
+    /// Whether the MCU is active (AOS / PA+AOS configurations).
+    pub aos_enabled: bool,
+    /// Background migration bandwidth during gradual resize.
+    pub migration_rows_per_cycle: u64,
+    /// Branch prediction mode.
+    pub branch_model: BranchModel,
+}
+
+impl MachineConfig {
+    /// The Table IV machine for one of the five evaluated systems:
+    /// 8-wide, 192-entry ROB, 32+32 LSQ, 48-entry MCQ, 16-bit PACs,
+    /// initial 1-way HBT, L1-B present, 64-entry BWB.
+    pub fn table_iv(config: SafetyConfig) -> Self {
+        Self {
+            issue_width: 8,
+            rob_entries: 192,
+            lsq_loads: 32,
+            lsq_stores: 32,
+            mispredict_penalty: 14,
+            with_l1b: true,
+            layout: PointerLayout::default(),
+            mcu: McuConfig::default(),
+            hbt: HbtConfig::default(),
+            aos_enabled: config.uses_aos(),
+            migration_rows_per_cycle: 4,
+            branch_model: BranchModel::default(),
+        }
+    }
+
+    /// Human-readable parameter dump — the Table IV reproduction.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "Core            2GHz, {}-wide, out-of-order, {} ROB entries,\n",
+            self.issue_width, self.rob_entries
+        ));
+        s.push_str(&format!(
+            "                {}-entry load and {}-entry store queues, {} MCQ entries\n",
+            self.lsq_loads, self.lsq_stores, self.mcu.mcq_entries
+        ));
+        s.push_str("L1-I cache      32KB, 4-way, 1-cycle, 64B line (modeled ideal)\n");
+        s.push_str("L1-D cache      64KB, 8-way, 1-cycle, 64B line\n");
+        if self.with_l1b {
+            s.push_str("L1-B cache      32KB, 4-way, 1-cycle, 8B bounds\n");
+        }
+        s.push_str("L2 cache        8MB, 16-way, 8-cycle, 64B line\n");
+        s.push_str("DRAM            50ns access latency from L2 (100 cycles @ 2GHz)\n");
+        s.push_str(&format!(
+            "Arm PA          {}-bit PAC, signing/authentication 4-cycle, stripping 1-cycle\n",
+            self.layout.pac_size()
+        ));
+        s.push_str(&format!(
+            "HBT             initial {}-way, {} MB\n",
+            self.hbt.initial_ways,
+            (1u64 << self.hbt.pac_size) * self.hbt.initial_ways as u64 * 64 / (1 << 20)
+        ));
+        s.push_str(&format!(
+            "BWB             {} entries, 1-cycle, LRU\n",
+            self.mcu.bwb_entries
+        ));
+        s
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Micro-ops retired.
+    pub retired_ops: u64,
+    /// Instruction-mix classification (Fig. 16).
+    pub mix: InstMix,
+    /// L1-D counters.
+    pub l1d: CacheStats,
+    /// L1-B counters, when present.
+    pub l1b: Option<CacheStats>,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// Inter-level traffic (Fig. 18).
+    pub traffic: TrafficStats,
+    /// MCU counters (Fig. 17).
+    pub mcu: McuStats,
+    /// BWB counters (Fig. 17).
+    pub bwb: BwbStats,
+    /// Gradual resizes triggered (§IX-A1).
+    pub hbt_resizes: u64,
+    /// Final HBT associativity.
+    pub hbt_ways: u32,
+    /// Memory-safety violations detected (should be zero for benign
+    /// workloads).
+    pub violations: u64,
+    /// Mispredictions that paid the full flush penalty.
+    pub charged_mispredicts: u64,
+    /// Mispredictions overlapped with structural stalls (the paper's
+    /// MCQ back-pressure effect, §IX-A).
+    pub waived_mispredicts: u64,
+    /// Cycles in which nothing issued due to a structural hazard.
+    pub stall_cycles: u64,
+    /// Issue stalls charged to a full ROB.
+    pub stalls_rob: u64,
+    /// Issue stalls charged to a full load/store queue.
+    pub stalls_lsq: u64,
+    /// Issue stalls charged to a full MCQ (the paper's back-pressure).
+    pub stalls_mcq: u64,
+}
+
+impl RunStats {
+    /// Retired micro-ops per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired_ops as f64 / self.cycles as f64
+        }
+    }
+}
+
+struct RobEntry {
+    complete_at: u64,
+    mcq_id: Option<u64>,
+    is_load: bool,
+    is_store: bool,
+}
+
+struct BoundsPort<'a> {
+    hierarchy: &'a mut MemoryHierarchy,
+}
+
+impl BoundsMemory for BoundsPort<'_> {
+    fn load_line(&mut self, addr: u64) -> u64 {
+        self.hierarchy.access_bounds(addr, 64, false)
+    }
+
+    fn store_line(&mut self, addr: u64) -> u64 {
+        self.hierarchy.access_bounds(addr, 64, true)
+    }
+}
+
+/// The machine: construct, [`Machine::run`] a trace, read the stats.
+///
+/// See the [crate docs](crate) for an example and the modeling notes.
+pub struct Machine {
+    config: MachineConfig,
+    hierarchy: MemoryHierarchy,
+    mcu: MemoryCheckUnit,
+    hbt: HashedBoundsTable,
+    now: u64,
+    rob: VecDeque<RobEntry>,
+    loads_inflight: usize,
+    stores_inflight: usize,
+    fetch_resume_at: u64,
+    prev_cycle_stalled: bool,
+    mix: InstMix,
+    retired_ops: u64,
+    violations: u64,
+    hbt_resizes: u64,
+    charged_mispredicts: u64,
+    waived_mispredicts: u64,
+    stall_cycles: u64,
+    stalls_rob: u64,
+    stalls_lsq: u64,
+    stalls_mcq: u64,
+    mcu_events: Vec<McuEvent>,
+    /// Completion time of the most recent *chained* load — the running
+    /// pointer-traversal dependence.
+    last_chain_complete: u64,
+    /// The L-TAGE instance, when `branch_model` is `Tage`.
+    tage: Option<Tage>,
+}
+
+impl Machine {
+    /// Builds a fresh machine.
+    pub fn new(config: MachineConfig) -> Self {
+        Self {
+            hierarchy: MemoryHierarchy::table_iv(config.with_l1b),
+            mcu: MemoryCheckUnit::new(config.mcu, config.layout),
+            hbt: HashedBoundsTable::new(config.hbt),
+            now: 0,
+            rob: VecDeque::with_capacity(config.rob_entries),
+            loads_inflight: 0,
+            stores_inflight: 0,
+            fetch_resume_at: 0,
+            prev_cycle_stalled: false,
+            mix: InstMix::default(),
+            retired_ops: 0,
+            violations: 0,
+            hbt_resizes: 0,
+            charged_mispredicts: 0,
+            waived_mispredicts: 0,
+            stall_cycles: 0,
+            stalls_rob: 0,
+            stalls_lsq: 0,
+            stalls_mcq: 0,
+            mcu_events: Vec::new(),
+            last_chain_complete: 0,
+            tage: match config.branch_model {
+                BranchModel::Tage => Some(Tage::new(TageConfig::default())),
+                BranchModel::TraceProvided => None,
+            },
+            config,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Runs a trace to completion and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails to make forward progress (a
+    /// model bug, bounded at 2^40 cycles).
+    pub fn run<I: IntoIterator<Item = Op>>(&mut self, trace: I) -> RunStats {
+        let mut trace = trace.into_iter();
+        let mut pending: Option<Op> = None;
+        loop {
+            self.tick_mcu();
+            if self.hbt.in_migration() {
+                self.hbt.step_migration(self.config.migration_rows_per_cycle);
+            }
+            self.retire();
+            let issued = self.issue(&mut pending, &mut trace);
+            let stalled = issued == 0 && (pending.is_some() || !self.rob.is_empty());
+            if stalled && pending.is_some() {
+                self.stall_cycles += 1;
+            }
+            self.prev_cycle_stalled = stalled;
+            self.now += 1;
+            if pending.is_none() && self.rob.is_empty() && self.mcu.is_empty() {
+                // Trace might still hold ops (issue broke on width).
+                match trace.next() {
+                    Some(op) => pending = Some(op),
+                    None => break,
+                }
+            }
+            if std::env::var_os("AOS_SIM_DEBUG").is_some() && self.now.is_multiple_of(1_000_000) {
+                eprintln!(
+                    "[sim] now={} retired={} rob={} mcu={} loads={} stores={} pending={}",
+                    self.now,
+                    self.retired_ops,
+                    self.rob.len(),
+                    self.mcu.len(),
+                    self.loads_inflight,
+                    self.stores_inflight,
+                    pending.is_some(),
+                );
+            }
+            assert!(self.now < 1 << 40, "simulation failed to make progress");
+        }
+        RunStats {
+            cycles: self.now,
+            retired_ops: self.retired_ops,
+            mix: self.mix,
+            l1d: self.hierarchy.l1d_stats(),
+            l1b: self.hierarchy.l1b_stats(),
+            l2: self.hierarchy.l2_stats(),
+            traffic: self.hierarchy.traffic(),
+            mcu: self.mcu.stats(),
+            bwb: self.mcu.bwb_stats(),
+            hbt_resizes: self.hbt_resizes,
+            hbt_ways: self.hbt.ways(),
+            violations: self.violations,
+            charged_mispredicts: self.charged_mispredicts,
+            waived_mispredicts: self.waived_mispredicts,
+            stall_cycles: self.stall_cycles,
+            stalls_rob: self.stalls_rob,
+            stalls_lsq: self.stalls_lsq,
+            stalls_mcq: self.stalls_mcq,
+        }
+    }
+
+    fn tick_mcu(&mut self) {
+        if !self.config.aos_enabled || self.mcu.is_empty() {
+            return;
+        }
+        let mut port = BoundsPort {
+            hierarchy: &mut self.hierarchy,
+        };
+        self.mcu
+            .tick(self.now, &mut self.hbt, &mut port, &mut self.mcu_events);
+        let events = std::mem::take(&mut self.mcu_events);
+        for ev in &events {
+            if let McuEvent::Exception { id, exception } = ev {
+                match exception {
+                    AosException::BoundsStoreFailure { .. } => {
+                        // OS handler: allocate a doubled table and let
+                        // the background manager migrate (§V-F3).
+                        self.hbt.begin_resize();
+                        self.hbt_resizes += 1;
+                        self.mcu.retry(*id);
+                    }
+                    AosException::BoundsCheckFailure { .. }
+                    | AosException::BoundsClearFailure { .. } => {
+                        // Benign workloads never get here; count it and
+                        // let the process continue (the "report and
+                        // resume" OS policy).
+                        self.violations += 1;
+                        self.mcu.drop_failed(*id);
+                    }
+                }
+            }
+        }
+        self.mcu_events = events;
+        self.mcu_events.clear();
+    }
+
+    fn retire(&mut self) {
+        let mut retired = 0;
+        while retired < self.config.issue_width {
+            let Some(head) = self.rob.front() else { break };
+            if head.complete_at > self.now {
+                break;
+            }
+            if let Some(id) = head.mcq_id {
+                if !self.mcu.can_retire(id) {
+                    break;
+                }
+            }
+            let head = self.rob.pop_front().expect("peeked above");
+            if let Some(id) = head.mcq_id {
+                self.mcu.mark_committed(id);
+            }
+            if head.is_load {
+                self.loads_inflight -= 1;
+            }
+            if head.is_store {
+                self.stores_inflight -= 1;
+            }
+            self.retired_ops += 1;
+            retired += 1;
+        }
+    }
+
+    fn issue(&mut self, pending: &mut Option<Op>, trace: &mut impl Iterator<Item = Op>) -> u32 {
+        let mut issued = 0;
+        while issued < self.config.issue_width {
+            if self.now < self.fetch_resume_at {
+                break;
+            }
+            let Some(op) = pending.take().or_else(|| trace.next()) else {
+                break;
+            };
+            // Structural hazards.
+            if self.rob.len() == self.config.rob_entries {
+                self.stalls_rob += 1;
+                *pending = Some(op);
+                break;
+            }
+            let memref = op.memory_ref(self.config.layout);
+            let takes_lsq = op.occupies_lsq();
+            if let Some(m) = memref {
+                // LSQ entries are held from issue until retirement,
+                // as in real hardware.
+                let full = takes_lsq
+                    && if m.is_store {
+                        self.stores_inflight >= self.config.lsq_stores
+                    } else {
+                        self.loads_inflight >= self.config.lsq_loads
+                    };
+                if full {
+                    self.stalls_lsq += 1;
+                    *pending = Some(op);
+                    break;
+                }
+            }
+            let to_mcu = self.config.aos_enabled && op.needs_mcu();
+            if to_mcu && !self.mcu.has_capacity() {
+                self.stalls_mcq += 1;
+                *pending = Some(op);
+                break;
+            }
+
+            // Execute.
+            // Pointer-chasing loads cannot start until the previous
+            // link of the traversal delivered their address.
+            let chained = matches!(op, Op::Load { chained: true, .. });
+            let mut start_at = self.now;
+            if chained {
+                start_at = start_at.max(self.last_chain_complete);
+            }
+            let complete_at = if let Some(m) = memref {
+                let latency = if m.metadata {
+                    self.hierarchy.access_bounds(m.addr, m.bytes, m.is_store)
+                } else {
+                    self.hierarchy.access_data(m.addr, m.bytes, m.is_store)
+                };
+                if takes_lsq {
+                    if m.is_store {
+                        self.stores_inflight += 1;
+                    } else {
+                        self.loads_inflight += 1;
+                    }
+                }
+                if m.is_store {
+                    // Stores retire once address and data are ready and
+                    // drain from the post-commit store buffer; their
+                    // cache latency is charged as traffic, not as a
+                    // retirement block.
+                    self.now + 1
+                } else {
+                    let done = start_at + latency;
+                    if chained {
+                        self.last_chain_complete = done;
+                    }
+                    done
+                }
+            } else {
+                self.now + op.exec_latency()
+            };
+            if let Op::Branch {
+                pc,
+                taken,
+                mispredicted,
+            } = op
+            {
+                let missed = match &mut self.tage {
+                    Some(tage) => {
+                        let prediction = tage.predict(pc);
+                        tage.update(pc, taken, prediction)
+                    }
+                    None => mispredicted,
+                };
+                if missed {
+                    if self.prev_cycle_stalled {
+                        // The front end was already blocked, so the
+                        // wrong path never issued (§IX-A back-pressure
+                        // effect).
+                        self.waived_mispredicts += 1;
+                    } else {
+                        self.charged_mispredicts += 1;
+                        self.fetch_resume_at = self
+                            .fetch_resume_at
+                            .max(complete_at + self.config.mispredict_penalty);
+                    }
+                }
+            }
+            let mcq_id = if to_mcu {
+                let mcu_op = match op {
+                    Op::Load { pointer, .. } => McuOp::Access {
+                        pointer,
+                        is_store: false,
+                    },
+                    Op::Store { pointer, .. } => McuOp::Access {
+                        pointer,
+                        is_store: true,
+                    },
+                    Op::BndStr { pointer, size } => McuOp::BndStr { pointer, size },
+                    Op::BndClr { pointer } => McuOp::BndClr { pointer },
+                    _ => unreachable!("needs_mcu covers only memory and bounds ops"),
+                };
+                Some(
+                    self.mcu
+                        .issue(mcu_op, start_at)
+                        .unwrap_or_else(|_| unreachable!("capacity checked above")),
+                )
+            } else {
+                None
+            };
+            self.mix.record(&op, self.config.layout);
+            self.rob.push_back(RobEntry {
+                complete_at,
+                mcq_id,
+                is_load: takes_lsq && memref.is_some_and(|m| !m.is_store),
+                is_store: takes_lsq && memref.is_some_and(|m| m.is_store),
+            });
+            issued += 1;
+            // Call-path QARMA (pacia/autia, pointer authentication)
+            // sits on the critical path of the call or the pointer
+            // use: end the issue group, costing roughly one fetch
+            // bubble. Data-pointer signing at malloc sites (pacma) is
+            // off the critical path and pipelines freely.
+            if matches!(op, Op::PacCrypto) {
+                break;
+            }
+        }
+        issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_trace(n: usize) -> Vec<Op> {
+        vec![Op::IntAlu; n]
+    }
+
+    #[test]
+    fn ideal_ilp_approaches_issue_width() {
+        let mut m = Machine::new(MachineConfig::table_iv(SafetyConfig::Baseline));
+        let stats = m.run(int_trace(8000));
+        assert_eq!(stats.retired_ops, 8000);
+        assert!(stats.ipc() > 6.0, "ipc was {}", stats.ipc());
+    }
+
+    #[test]
+    fn mispredicts_cost_cycles() {
+        let clean: Vec<Op> = (0..4000)
+            .map(|i| Op::Branch {
+                pc: 0x1000 + (i % 16) * 4,
+                taken: true,
+                mispredicted: false,
+            })
+            .collect();
+        let dirty: Vec<Op> = (0..4000)
+            .map(|i| Op::Branch {
+                pc: 0x1000 + (i % 16) * 4,
+                taken: true,
+                mispredicted: i % 50 == 0,
+            })
+            .collect();
+        let a = Machine::new(MachineConfig::table_iv(SafetyConfig::Baseline)).run(clean);
+        let b = Machine::new(MachineConfig::table_iv(SafetyConfig::Baseline)).run(dirty);
+        assert!(b.cycles > a.cycles + 500, "{} vs {}", b.cycles, a.cycles);
+        assert!(b.charged_mispredicts > 0);
+    }
+
+    #[test]
+    fn cache_misses_slow_the_run() {
+        // Sequential streaming (new line every 8 accesses) vs hot set.
+        let streaming: Vec<Op> = (0..20_000u64)
+            .map(|i| Op::Load {
+                pointer: 0x100_0000 + i * 8,
+                bytes: 8,
+                chained: false,
+            })
+            .collect();
+        let hot: Vec<Op> = (0..20_000u64)
+            .map(|i| Op::Load {
+                pointer: 0x100_0000 + (i % 64) * 8,
+                bytes: 8,
+                chained: false,
+            })
+            .collect();
+        let cold = Machine::new(MachineConfig::table_iv(SafetyConfig::Baseline)).run(streaming);
+        let warm = Machine::new(MachineConfig::table_iv(SafetyConfig::Baseline)).run(hot);
+        assert!(cold.cycles > warm.cycles);
+        assert!(cold.traffic.total_bytes() > warm.traffic.total_bytes());
+    }
+
+    #[test]
+    fn aos_checks_signed_accesses_and_retires_cleanly() {
+        let layout = PointerLayout::default();
+        let base = 0x4000_0000u64;
+        let mut trace = Vec::new();
+        // Sign + store bounds, then access the chunk many times.
+        let signed = layout.compose(base, 0x1234, 1);
+        trace.push(Op::Pacma {
+            pointer: signed,
+            size: 64,
+        });
+        trace.push(Op::BndStr {
+            pointer: signed,
+            size: 64,
+        });
+        for i in 0..5000u64 {
+            trace.push(Op::Load {
+                pointer: signed + (i % 8) * 8,
+                bytes: 8,
+                chained: false,
+            });
+        }
+        let mut m = Machine::new(MachineConfig::table_iv(SafetyConfig::Aos));
+        let stats = m.run(trace);
+        assert_eq!(stats.violations, 0);
+        assert_eq!(stats.mcu.signed_accesses, 5000);
+        assert_eq!(stats.mcu.completed_checks + stats.mcu.forwards, 5000);
+        assert!(stats.bwb.hits > 4000, "BWB should capture the reuse");
+    }
+
+    #[test]
+    fn aos_overhead_visible_but_bounded_for_checked_loads() {
+        let layout = PointerLayout::default();
+        let base = 0x4000_0000u64;
+        let signed = layout.compose(base, 0x77, 1);
+        let mut trace = vec![Op::BndStr {
+            pointer: signed,
+            size: 4096,
+        }];
+        for i in 0..20_000u64 {
+            trace.push(Op::Load {
+                pointer: signed + (i % 512) * 8,
+                bytes: 8,
+                chained: false,
+            });
+            trace.push(Op::IntAlu);
+            trace.push(Op::IntAlu);
+        }
+        let baseline_trace: Vec<Op> = trace
+            .iter()
+            .map(|op| match *op {
+                Op::Load { pointer, bytes, chained } => Op::Load {
+                    pointer: layout.address(pointer),
+                    bytes,
+                    chained,
+                },
+                Op::BndStr { .. } => Op::IntAlu,
+                other => other,
+            })
+            .collect();
+        let aos = Machine::new(MachineConfig::table_iv(SafetyConfig::Aos)).run(trace);
+        let base_stats =
+            Machine::new(MachineConfig::table_iv(SafetyConfig::Baseline)).run(baseline_trace);
+        let overhead = aos.cycles as f64 / base_stats.cycles as f64;
+        assert!(overhead >= 1.0, "AOS cannot be faster here: {overhead}");
+        assert!(overhead < 1.6, "overhead should be modest: {overhead}");
+    }
+
+    #[test]
+    fn violation_is_detected_and_counted() {
+        let layout = PointerLayout::default();
+        let signed = layout.compose(0x4000_0000, 0x99, 1);
+        let trace = vec![
+            Op::BndStr {
+                pointer: signed,
+                size: 64,
+            },
+            // Out of bounds by one line.
+            Op::Load {
+                pointer: signed + 128,
+                bytes: 8,
+                chained: false,
+            },
+        ];
+        let stats = Machine::new(MachineConfig::table_iv(SafetyConfig::Aos)).run(trace);
+        assert_eq!(stats.violations, 1);
+    }
+
+    #[test]
+    fn row_overflow_triggers_resize_in_flight() {
+        let layout = PointerLayout::default();
+        let mut trace = Vec::new();
+        // Nine chunks with the same PAC overflow the 8-slot row.
+        for i in 0..9u64 {
+            let signed = layout.compose(0x4000_0000 + i * 0x1000, 0x42, 1);
+            trace.push(Op::BndStr {
+                pointer: signed,
+                size: 64,
+            });
+        }
+        let stats = Machine::new(MachineConfig::table_iv(SafetyConfig::Aos)).run(trace);
+        assert_eq!(stats.hbt_resizes, 1);
+        assert_eq!(stats.hbt_ways, 2);
+        assert_eq!(stats.violations, 0);
+    }
+
+    #[test]
+    fn l1b_separates_bounds_traffic() {
+        let layout = PointerLayout::default();
+        let mut trace = Vec::new();
+        for i in 0..64u64 {
+            let signed = layout.compose(0x4000_0000 + i * 0x1000, i, 1);
+            trace.push(Op::BndStr {
+                pointer: signed,
+                size: 64,
+            });
+            trace.push(Op::Load {
+                pointer: signed,
+                bytes: 8,
+                chained: false,
+            });
+        }
+        let mut cfg = MachineConfig::table_iv(SafetyConfig::Aos);
+        cfg.with_l1b = true;
+        let with = Machine::new(cfg.clone()).run(trace.clone());
+        assert!(with.l1b.is_some());
+        cfg.with_l1b = false;
+        let without = Machine::new(cfg).run(trace);
+        assert!(without.l1b.is_none());
+        assert!(
+            without.l1d.misses > with.l1d.misses,
+            "bounds pollute the L1-D without the L1-B"
+        );
+    }
+
+    #[test]
+    fn table_iv_description_lists_parameters() {
+        let cfg = MachineConfig::table_iv(SafetyConfig::Aos);
+        let d = cfg.describe();
+        assert!(d.contains("8-wide"));
+        assert!(d.contains("192 ROB"));
+        assert!(d.contains("48 MCQ"));
+        assert!(d.contains("16-bit PAC"));
+        assert!(d.contains("4 MB"));
+    }
+
+    #[test]
+    fn tage_mode_predicts_biased_branches_well() {
+        // A biased branch stream: the emergent L-TAGE should charge
+        // far fewer mispredictions than the trace's pessimistic flags.
+        let trace: Vec<Op> = (0..20_000)
+            .map(|i| Op::Branch {
+                pc: 0x2000 + (i % 8) * 4,
+                taken: true,
+                mispredicted: i % 10 == 0, // replay mode would charge 10%
+            })
+            .collect();
+        let mut replay_cfg = MachineConfig::table_iv(SafetyConfig::Baseline);
+        replay_cfg.branch_model = BranchModel::TraceProvided;
+        let replay = Machine::new(replay_cfg).run(trace.clone());
+        let mut tage_cfg = MachineConfig::table_iv(SafetyConfig::Baseline);
+        tage_cfg.branch_model = BranchModel::Tage;
+        let tage = Machine::new(tage_cfg).run(trace);
+        let replay_missed = replay.charged_mispredicts + replay.waived_mispredicts;
+        let tage_missed = tage.charged_mispredicts + tage.waived_mispredicts;
+        assert!(
+            tage_missed * 10 < replay_missed,
+            "L-TAGE learns the bias: {tage_missed} vs {replay_missed}"
+        );
+        assert!(tage.cycles < replay.cycles);
+    }
+
+    #[test]
+    fn run_may_be_called_again_and_accumulates() {
+        let mut m = Machine::new(MachineConfig::table_iv(SafetyConfig::Baseline));
+        let first = m.run(vec![Op::IntAlu; 100]).retired_ops;
+        let second = m.run(vec![Op::IntAlu; 50]).retired_ops;
+        assert_eq!(first, 100);
+        assert_eq!(second, 150, "statistics accumulate across runs");
+    }
+
+    #[test]
+    fn stats_ipc_handles_zero() {
+        let mut m = Machine::new(MachineConfig::table_iv(SafetyConfig::Baseline));
+        let stats = m.run(Vec::new());
+        assert_eq!(stats.retired_ops, 0);
+        assert!(stats.ipc() <= 8.0);
+    }
+}

@@ -1,0 +1,539 @@
+//! An L-TAGE branch predictor (Seznec, JILP 2007) — the predictor of
+//! the Table IV core.
+//!
+//! The machine's default mode replays trace-provided outcomes (like a
+//! gem5 trace run); select [`crate::machine::BranchModel::Tage`] to
+//! have mispredictions *emerge* from this predictor instead. The
+//! implementation follows the L-TAGE structure:
+//!
+//! - a bimodal base predictor;
+//! - `N` tagged tables indexed by hashes of the PC and geometrically
+//!   increasing global-history lengths, each entry holding a 3-bit
+//!   signed counter, a partial tag and a 2-bit useful counter;
+//! - provider/alternate selection with `use_alt_on_newly_allocated`;
+//! - allocation on mispredict with useful-bit-guided victim choice and
+//!   periodic useful-bit aging;
+//! - the "L" component: a loop predictor that locks onto constant
+//!   trip-count loops and overrides TAGE when confident.
+
+/// Configuration of the predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TageConfig {
+    /// log2 entries of the bimodal table.
+    pub bimodal_bits: u32,
+    /// log2 entries of each tagged table.
+    pub tagged_bits: u32,
+    /// Number of tagged tables.
+    pub tagged_tables: usize,
+    /// Shortest history length (geometric series from here).
+    pub min_history: u32,
+    /// Longest history length.
+    pub max_history: u32,
+    /// Partial tag width.
+    pub tag_bits: u32,
+    /// log2 entries of the loop predictor.
+    pub loop_bits: u32,
+}
+
+impl Default for TageConfig {
+    /// A mid-size L-TAGE: 4K-entry bimodal, 7 × 1K tagged tables with
+    /// histories 4..=130, 10-bit tags, 64-entry loop predictor.
+    fn default() -> Self {
+        Self {
+            bimodal_bits: 12,
+            tagged_bits: 10,
+            tagged_tables: 7,
+            min_history: 4,
+            max_history: 130,
+            tag_bits: 10,
+            loop_bits: 6,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TaggedEntry {
+    tag: u16,
+    /// Signed 3-bit counter in [-4, 3]; ≥ 0 predicts taken.
+    counter: i8,
+    useful: u8,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LoopEntry {
+    tag: u16,
+    /// Trip count the loop appears to have.
+    trip: u16,
+    /// Iterations seen in the current traversal.
+    current: u16,
+    /// Confidence (saturating); predicts only when ≥ 3.
+    confidence: u8,
+    valid: bool,
+}
+
+/// Prediction outcome with provenance (useful for tests and stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted direction.
+    pub taken: bool,
+    /// Which component produced it.
+    pub provider: Provider,
+}
+
+/// The component that supplied a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provider {
+    /// The bimodal base table.
+    Bimodal,
+    /// Tagged table `i` (0 = shortest history).
+    Tagged(usize),
+    /// The loop predictor override.
+    Loop,
+}
+
+/// Accuracy counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TageStats {
+    /// Branches predicted.
+    pub predictions: u64,
+    /// Mispredictions.
+    pub mispredictions: u64,
+}
+
+impl TageStats {
+    /// Misprediction rate in `[0, 1]`.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// The predictor. Drive it with [`Tage::predict`] followed by
+/// [`Tage::update`] with the resolved direction.
+///
+/// # Examples
+///
+/// ```
+/// use aos_sim::tage::{Tage, TageConfig};
+///
+/// let mut tage = Tage::new(TageConfig::default());
+/// // A strongly biased branch converges quickly.
+/// for _ in 0..64 {
+///     let p = tage.predict(0x400100);
+///     tage.update(0x400100, true, p);
+/// }
+/// assert!(tage.predict(0x400100).taken);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tage {
+    config: TageConfig,
+    bimodal: Vec<i8>,
+    tagged: Vec<Vec<TaggedEntry>>,
+    histories: Vec<u32>,
+    loops: Vec<LoopEntry>,
+    /// Global history, newest outcome in bit 0.
+    ghist: u128,
+    /// Aging tick for useful counters.
+    ticks: u64,
+    /// Biases allocation toward alt when fresh entries mislead.
+    use_alt_on_na: i8,
+    stats: TageStats,
+    /// Deterministic LFSR for allocation tie-breaks.
+    lfsr: u32,
+}
+
+impl Tage {
+    /// Builds an empty predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-table or zero-history configuration.
+    pub fn new(config: TageConfig) -> Self {
+        assert!(config.tagged_tables >= 1, "need at least one tagged table");
+        assert!(config.min_history >= 1 && config.max_history > config.min_history);
+        // Geometric history series a la TAGE.
+        let n = config.tagged_tables;
+        let ratio =
+            (config.max_history as f64 / config.min_history as f64).powf(1.0 / (n - 1) as f64);
+        let histories: Vec<u32> = (0..n)
+            .map(|i| {
+                (config.min_history as f64 * ratio.powi(i as i32)).round() as u32
+            })
+            .collect();
+        Self {
+            bimodal: vec![0; 1 << config.bimodal_bits],
+            tagged: vec![vec![TaggedEntry::default(); 1 << config.tagged_bits]; n],
+            histories,
+            loops: vec![LoopEntry::default(); 1 << config.loop_bits],
+            ghist: 0,
+            ticks: 0,
+            use_alt_on_na: 0,
+            stats: TageStats::default(),
+            lfsr: 0xACE1,
+            config,
+        }
+    }
+
+    /// The geometric history lengths in use.
+    pub fn history_lengths(&self) -> &[u32] {
+        &self.histories
+    }
+
+    /// Accuracy counters.
+    pub fn stats(&self) -> TageStats {
+        self.stats
+    }
+
+    fn folded_history(&self, bits: u32, length: u32) -> u32 {
+        // Fold `length` bits of global history into `bits` bits.
+        let mut folded = 0u32;
+        let mut remaining = length;
+        let mut hist = self.ghist;
+        while remaining > 0 {
+            let take = remaining.min(bits);
+            folded ^= (hist as u32) & ((1u32 << take) - 1).max(1);
+            hist >>= take;
+            remaining -= take;
+        }
+        folded & ((1u32 << bits) - 1)
+    }
+
+    fn tagged_index(&self, pc: u64, table: usize) -> usize {
+        let bits = self.config.tagged_bits;
+        let h = self.folded_history(bits, self.histories[table]);
+        ((pc as u32 ^ (pc >> bits) as u32 ^ h ^ (table as u32) << 1) & ((1 << bits) - 1)) as usize
+    }
+
+    fn tag_of(&self, pc: u64, table: usize) -> u16 {
+        let bits = self.config.tag_bits;
+        let h = self.folded_history(bits, self.histories[table]);
+        let h2 = self.folded_history(bits.saturating_sub(1).max(1), self.histories[table]);
+        ((pc as u32 ^ h ^ (h2 << 1)) & ((1 << bits) - 1)) as u16
+    }
+
+    fn bimodal_index(&self, pc: u64) -> usize {
+        (pc as usize >> 2) & ((1 << self.config.bimodal_bits) - 1)
+    }
+
+    fn loop_index(&self, pc: u64) -> usize {
+        (pc as usize >> 2) & ((1 << self.config.loop_bits) - 1)
+    }
+
+    fn loop_tag(&self, pc: u64) -> u16 {
+        ((pc >> (2 + self.config.loop_bits)) & 0x3FF) as u16
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> Prediction {
+        // Loop predictor override.
+        let le = &self.loops[self.loop_index(pc)];
+        if le.valid && le.tag == self.loop_tag(pc) && le.confidence >= 3 {
+            return Prediction {
+                // Taken while inside the loop, not-taken at the exit.
+                taken: le.current + 1 < le.trip,
+                provider: Provider::Loop,
+            };
+        }
+        // Longest matching tagged table.
+        let mut provider = None;
+        let mut alt = None;
+        for table in (0..self.config.tagged_tables).rev() {
+            let e = &self.tagged[table][self.tagged_index(pc, table)];
+            if e.tag == self.tag_of(pc, table) && e.useful != u8::MAX {
+                if provider.is_none() {
+                    provider = Some((table, e));
+                } else {
+                    alt = Some((table, e));
+                    break;
+                }
+            }
+        }
+        match provider {
+            Some((table, e)) => {
+                let newly_allocated = e.counter == 0 || e.counter == -1;
+                if newly_allocated && self.use_alt_on_na > 0 {
+                    if let Some((_, a)) = alt {
+                        return Prediction {
+                            taken: a.counter >= 0,
+                            provider: Provider::Tagged(table),
+                        };
+                    }
+                    return Prediction {
+                        taken: self.bimodal[self.bimodal_index(pc)] >= 0,
+                        provider: Provider::Bimodal,
+                    };
+                }
+                Prediction {
+                    taken: e.counter >= 0,
+                    provider: Provider::Tagged(table),
+                }
+            }
+            None => Prediction {
+                taken: self.bimodal[self.bimodal_index(pc)] >= 0,
+                provider: Provider::Bimodal,
+            },
+        }
+    }
+
+    /// Updates the predictor with the resolved direction. Pass the
+    /// [`Prediction`] obtained for this branch so provider state is
+    /// updated correctly. Returns `true` if the branch mispredicted.
+    pub fn update(&mut self, pc: u64, taken: bool, prediction: Prediction) -> bool {
+        let mispredicted = prediction.taken != taken;
+        self.stats.predictions += 1;
+        if mispredicted {
+            self.stats.mispredictions += 1;
+        }
+
+        // Loop predictor training.
+        self.train_loop(pc, taken);
+
+        // Locate provider again (cheap; tables are small).
+        let mut provider_table = None;
+        for table in (0..self.config.tagged_tables).rev() {
+            let idx = self.tagged_index(pc, table);
+            if self.tagged[table][idx].tag == self.tag_of(pc, table) {
+                provider_table = Some((table, idx));
+                break;
+            }
+        }
+
+        match provider_table {
+            Some((table, idx)) => {
+                let newly = {
+                    let e = &self.tagged[table][idx];
+                    e.counter == 0 || e.counter == -1
+                };
+                if newly {
+                    // Track whether fresh entries help or hurt.
+                    let bimodal_correct =
+                        (self.bimodal[self.bimodal_index(pc)] >= 0) == taken;
+                    let provider_correct =
+                        (self.tagged[table][idx].counter >= 0) == taken;
+                    if bimodal_correct != provider_correct {
+                        self.use_alt_on_na = (self.use_alt_on_na
+                            + if bimodal_correct { 1 } else { -1 })
+                        .clamp(-8, 8);
+                    }
+                }
+                let e = &mut self.tagged[table][idx];
+                e.counter = (e.counter + if taken { 1 } else { -1 }).clamp(-4, 3);
+                if !mispredicted && prediction.provider == Provider::Tagged(table) {
+                    e.useful = e.useful.saturating_add(1).min(3);
+                }
+            }
+            None => {
+                let idx = self.bimodal_index(pc);
+                let b = &mut self.bimodal[idx];
+                *b = (*b + if taken { 1 } else { -1 }).clamp(-2, 1);
+            }
+        }
+
+        // Allocation on mispredict: claim an entry in a longer table.
+        if mispredicted {
+            let start = provider_table.map(|(t, _)| t + 1).unwrap_or(0);
+            self.allocate(pc, taken, start);
+        }
+
+        // Periodic useful aging.
+        self.ticks += 1;
+        if self.ticks.is_multiple_of(256 * 1024) {
+            for table in &mut self.tagged {
+                for e in table.iter_mut() {
+                    e.useful >>= 1;
+                }
+            }
+        }
+
+        // Update global history.
+        self.ghist = (self.ghist << 1) | taken as u128;
+        mispredicted
+    }
+
+    fn allocate(&mut self, pc: u64, taken: bool, start: usize) {
+        if start >= self.config.tagged_tables {
+            return;
+        }
+        // Pseudo-random start among the next tables (TAGE allocates in
+        // one of up to three candidate tables).
+        self.lfsr = (self.lfsr >> 1) ^ (0xB400u32.wrapping_mul(self.lfsr & 1));
+        let skip = (self.lfsr as usize) % 2;
+        let mut allocated = false;
+        for table in (start + skip)..self.config.tagged_tables {
+            let idx = self.tagged_index(pc, table);
+            let e = &mut self.tagged[table][idx];
+            if e.useful == 0 {
+                e.tag = 0;
+                *e = TaggedEntry {
+                    tag: 0,
+                    counter: if taken { 0 } else { -1 },
+                    useful: 0,
+                };
+                e.tag = 0; // placeholder; real tag set below
+                allocated = true;
+                let tag = self.tag_of(pc, table);
+                self.tagged[table][idx].tag = tag;
+                break;
+            }
+        }
+        if !allocated {
+            // Decay useful bits so future allocations succeed.
+            for table in start..self.config.tagged_tables {
+                let idx = self.tagged_index(pc, table);
+                let e = &mut self.tagged[table][idx];
+                e.useful = e.useful.saturating_sub(1);
+            }
+        }
+    }
+
+    fn train_loop(&mut self, pc: u64, taken: bool) {
+        let idx = self.loop_index(pc);
+        let tag = self.loop_tag(pc);
+        let e = &mut self.loops[idx];
+        if !e.valid || e.tag != tag {
+            // Adopt the slot on a not-taken (potential loop exit).
+            if !taken {
+                *e = LoopEntry {
+                    tag,
+                    trip: 0,
+                    current: 0,
+                    confidence: 0,
+                    valid: true,
+                };
+            }
+            return;
+        }
+        if taken {
+            e.current = e.current.saturating_add(1);
+        } else {
+            // Loop exit: does the trip count repeat?
+            let observed = e.current + 1;
+            if e.trip == observed {
+                e.confidence = (e.confidence + 1).min(7);
+            } else {
+                e.trip = observed;
+                e.confidence = 0;
+            }
+            e.current = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_pattern(tage: &mut Tage, pc: u64, pattern: impl Iterator<Item = bool>) -> TageStats {
+        let before = tage.stats();
+        for taken in pattern {
+            let p = tage.predict(pc);
+            tage.update(pc, taken, p);
+        }
+        TageStats {
+            predictions: tage.stats().predictions - before.predictions,
+            mispredictions: tage.stats().mispredictions - before.mispredictions,
+        }
+    }
+
+    #[test]
+    fn history_lengths_are_geometric() {
+        let t = Tage::new(TageConfig::default());
+        let h = t.history_lengths();
+        assert_eq!(h.len(), 7);
+        assert_eq!(h[0], 4);
+        assert_eq!(*h.last().unwrap(), 130);
+        for w in h.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn biased_branch_is_learned() {
+        let mut t = Tage::new(TageConfig::default());
+        let s = run_pattern(&mut t, 0x1000, std::iter::repeat_n(true, 1000));
+        assert!(
+            s.mispredictions <= 3,
+            "always-taken should be near-perfect: {s:?}"
+        );
+    }
+
+    #[test]
+    fn alternating_pattern_is_learned_by_tagged_tables() {
+        let mut t = Tage::new(TageConfig::default());
+        // Warm up, then measure: T N T N ... is history-predictable.
+        let warm: Vec<bool> = (0..512).map(|i| i % 2 == 0).collect();
+        run_pattern(&mut t, 0x2000, warm.into_iter());
+        let s = run_pattern(&mut t, 0x2000, (0..512).map(|i| i % 2 == 0));
+        assert!(
+            s.mispredict_rate() < 0.05,
+            "alternation should be captured: {:.3}",
+            s.mispredict_rate()
+        );
+    }
+
+    #[test]
+    fn short_loop_is_captured() {
+        let mut t = Tage::new(TageConfig::default());
+        // 7 taken, 1 not-taken, repeated: trip count 8.
+        let body = |i: usize| i % 8 != 7;
+        run_pattern(&mut t, 0x3000, (0..2048).map(body));
+        let s = run_pattern(&mut t, 0x3000, (0..2048).map(body));
+        assert!(
+            s.mispredict_rate() < 0.05,
+            "constant-trip loop should be near-perfect: {:.3}",
+            s.mispredict_rate()
+        );
+    }
+
+    #[test]
+    fn random_branches_mispredict_about_half() {
+        let mut t = Tage::new(TageConfig::default());
+        // LCG "random" outcomes.
+        let mut x = 12345u64;
+        let outcomes: Vec<bool> = (0..4000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 63) & 1 == 1
+            })
+            .collect();
+        let s = run_pattern(&mut t, 0x4000, outcomes.into_iter());
+        let r = s.mispredict_rate();
+        assert!((0.35..0.65).contains(&r), "random should be ~50%: {r:.3}");
+    }
+
+    #[test]
+    fn distinct_branches_do_not_destructively_alias() {
+        let mut t = Tage::new(TageConfig::default());
+        for round in 0..200 {
+            for pc in [0x1000u64, 0x1100, 0x1200, 0x1300] {
+                // Each PC has its own constant bias.
+                let taken = (pc / 0x100) % 2 == 0 || round % 4 == 0;
+                let p = t.predict(pc);
+                t.update(pc, taken, p);
+            }
+        }
+        let rate = t.stats().mispredict_rate();
+        assert!(rate < 0.30, "per-branch biases should separate: {rate:.3}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut t = Tage::new(TageConfig::default());
+        let p = t.predict(0x10);
+        t.update(0x10, true, p);
+        assert_eq!(t.stats().predictions, 1);
+        assert_eq!(TageStats::default().mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tagged table")]
+    fn zero_tables_rejected() {
+        Tage::new(TageConfig {
+            tagged_tables: 0,
+            ..TageConfig::default()
+        });
+    }
+}

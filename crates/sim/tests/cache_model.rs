@@ -1,0 +1,101 @@
+//! Property tests for the cache model against a transparent reference
+//! implementation (a map of sets to LRU-ordered tag lists).
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use aos_sim::cache::Lookup;
+use aos_sim::{Cache, CacheConfig};
+
+/// A straightforward reference cache: per set, a vector of (tag,
+/// dirty) in LRU order (most recent last).
+struct ReferenceCache {
+    sets: u64,
+    ways: usize,
+    line: u64,
+    content: HashMap<u64, Vec<(u64, bool)>>,
+}
+
+impl ReferenceCache {
+    fn new(config: CacheConfig) -> Self {
+        Self {
+            sets: config.sets(),
+            ways: config.ways as usize,
+            line: config.line_bytes as u64,
+            content: HashMap::new(),
+        }
+    }
+
+    /// Returns (hit, writeback address).
+    fn access(&mut self, addr: u64, write: bool) -> (bool, Option<u64>) {
+        let line_no = addr / self.line;
+        let set = line_no % self.sets;
+        let tag = line_no / self.sets;
+        let entries = self.content.entry(set).or_default();
+        if let Some(pos) = entries.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = entries.remove(pos);
+            entries.push((t, d || write));
+            return (true, None);
+        }
+        let mut writeback = None;
+        if entries.len() == self.ways {
+            let (victim_tag, dirty) = entries.remove(0);
+            if dirty {
+                writeback = Some((victim_tag * self.sets + set) * self.line);
+            }
+        }
+        entries.push((tag, write));
+        (false, writeback)
+    }
+}
+
+proptest! {
+    /// Hit/miss/writeback behaviour matches the reference for any
+    /// access sequence over a small address space.
+    #[test]
+    fn cache_matches_reference_model(
+        accesses in proptest::collection::vec((0u64..64, any::<bool>()), 1..600),
+    ) {
+        let config = CacheConfig {
+            size_bytes: 512, // 4 sets × 2 ways
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
+        let mut cache = Cache::new(config);
+        let mut reference = ReferenceCache::new(config);
+        for (line_index, write) in accesses {
+            let addr = line_index * 64 + 8;
+            let got = cache.access(addr, write);
+            let (want_hit, want_wb) = reference.access(addr, write);
+            match got {
+                Lookup::Hit => prop_assert!(want_hit, "cache hit, reference missed"),
+                Lookup::Miss { writeback } => {
+                    prop_assert!(!want_hit, "cache missed, reference hit");
+                    prop_assert_eq!(writeback, want_wb, "writeback divergence");
+                }
+            }
+        }
+    }
+
+    /// Counter invariant: hits + misses equals accesses; writebacks
+    /// never exceed misses.
+    #[test]
+    fn counters_are_consistent(
+        accesses in proptest::collection::vec((0u64..256, any::<bool>()), 1..400),
+    ) {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 2048,
+            ways: 4,
+            line_bytes: 64,
+            hit_latency: 1,
+        });
+        let n = accesses.len() as u64;
+        for (line_index, write) in accesses {
+            cache.access(line_index * 64, write);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, n);
+        prop_assert!(stats.writebacks <= stats.misses);
+    }
+}

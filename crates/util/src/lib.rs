@@ -1,0 +1,29 @@
+//! Shared utilities for the AOS reproduction workspace.
+//!
+//! This crate deliberately avoids external dependencies so every workload
+//! trace, PAC distribution and simulation result in the repository is
+//! **bit-reproducible** across platforms and library versions:
+//!
+//! - [`rng`] — a small, fast, seedable PRNG family ([`rng::SplitMix64`],
+//!   [`rng::Xoshiro256StarStar`]) plus the sampling helpers the workload
+//!   generator needs (uniform ranges, Bernoulli, Zipf, discrete tables).
+//! - [`stats`] — the summary statistics the paper reports (mean, standard
+//!   deviation, geometric mean) and a fixed-bin [`stats::Histogram`].
+//!
+//! # Examples
+//!
+//! ```
+//! use aos_util::rng::Xoshiro256StarStar;
+//! use aos_util::stats::geomean;
+//!
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+//! let x = rng.next_range(16);
+//! assert!(x < 16);
+//! assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+//! ```
+
+pub mod rng;
+pub mod stats;
+
+pub use rng::{SplitMix64, Xoshiro256StarStar};
+pub use stats::{geomean, mean, stdev, Histogram};

@@ -1,0 +1,248 @@
+//! Summary statistics used throughout the evaluation harness.
+//!
+//! The paper reports arithmetic means (Fig. 11), geometric means of
+//! normalized execution times (Figs. 14, 15, 18) and standard deviations
+//! (Fig. 11). These helpers keep that logic in one tested place.
+
+/// Arithmetic mean. Returns `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(aos_util::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation. Returns `0.0` for fewer than two
+/// samples.
+///
+/// # Examples
+///
+/// ```
+/// let s = aos_util::stats::stdev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert!((s - 2.0).abs() < 1e-12);
+/// ```
+pub fn stdev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Geometric mean, the paper's aggregate for normalized results.
+/// Returns `0.0` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive — a normalized execution
+/// time of zero or below indicates a harness bug.
+///
+/// # Examples
+///
+/// ```
+/// assert!((aos_util::stats::geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// A fixed-width-bin histogram over `u64` keys, used for the PAC
+/// distribution study (Fig. 11).
+///
+/// # Examples
+///
+/// ```
+/// use aos_util::stats::Histogram;
+/// let mut h = Histogram::new(16);
+/// h.record(3);
+/// h.record(3);
+/// h.record(15);
+/// assert_eq!(h.count(3), 2);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` buckets for keys `0..bins`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            bins: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Returns `true` if the histogram has zero buckets (never, by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Records one occurrence of `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is outside `0..len()`.
+    pub fn record(&mut self, key: u64) {
+        let idx = usize::try_from(key).expect("histogram key fits usize");
+        assert!(idx < self.bins.len(), "key {key} out of range");
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Occurrences recorded for `key` (zero when out of range).
+    pub fn count(&self, key: u64) -> u64 {
+        usize::try_from(key)
+            .ok()
+            .and_then(|i| self.bins.get(i).copied())
+            .unwrap_or(0)
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterator over per-bin counts, in key order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.bins.iter().copied()
+    }
+
+    /// Summary of the per-bin occupancy: `(mean, max, min, stdev)` — the
+    /// four numbers printed in the Fig. 11 caption.
+    pub fn occupancy_summary(&self) -> OccupancySummary {
+        let as_f: Vec<f64> = self.bins.iter().map(|&c| c as f64).collect();
+        OccupancySummary {
+            mean: mean(&as_f),
+            max: self.bins.iter().copied().max().unwrap_or(0),
+            min: self.bins.iter().copied().min().unwrap_or(0),
+            stdev: stdev(&as_f),
+        }
+    }
+}
+
+/// Per-bin occupancy summary produced by [`Histogram::occupancy_summary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancySummary {
+    /// Mean samples per bin.
+    pub mean: f64,
+    /// Largest bin count.
+    pub max: u64,
+    /// Smallest bin count.
+    pub min: u64,
+    /// Population standard deviation of bin counts.
+    pub stdev: f64,
+}
+
+impl std::fmt::Display for OccupancySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Avg:{:.1}, Max:{}, Min:{}, Stdev: {:.2}",
+            self.mean, self.max, self.min, self.stdev
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn stdev_of_constant_is_zero() {
+        assert_eq!(stdev(&[4.0, 4.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn stdev_single_sample_is_zero() {
+        assert_eq!(stdev(&[42.0]), 0.0);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let g = geomean(&[1.0, 10.0, 100.0]);
+        assert!((g - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_empty_is_zero() {
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn histogram_counts_and_summary() {
+        let mut h = Histogram::new(4);
+        for k in [0u64, 0, 1, 2, 2, 2] {
+            h.record(k);
+        }
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(3), 0);
+        assert_eq!(h.count(99), 0);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.len(), 4);
+        assert!(!h.is_empty());
+        let s = h.occupancy_summary();
+        assert_eq!(s.max, 3);
+        assert_eq!(s.min, 0);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        let shown = s.to_string();
+        assert!(shown.contains("Avg:1.5"), "display was {shown}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn histogram_rejects_out_of_range_record() {
+        Histogram::new(2).record(2);
+    }
+
+    #[test]
+    fn histogram_iter_in_key_order() {
+        let mut h = Histogram::new(3);
+        h.record(1);
+        h.record(1);
+        h.record(2);
+        let v: Vec<u64> = h.iter().collect();
+        assert_eq!(v, vec![0, 2, 1]);
+    }
+}

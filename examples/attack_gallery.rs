@@ -1,0 +1,34 @@
+//! The §VII security analysis, live: every attack class from the
+//! paper staged against the functional machine, showing what the
+//! attack achieves on an unprotected baseline and how AOS stops it.
+//!
+//! ```text
+//! cargo run --release --example attack_gallery
+//! ```
+
+use aos_core::security;
+
+fn main() {
+    println!("== AOS attack gallery (paper §VII / Figs. 1, 12) ==\n");
+    for outcome in security::all_scenarios() {
+        println!("scenario : {}", outcome.name);
+        println!("baseline : {}", outcome.baseline_effect);
+        match &outcome.detected {
+            Some(err) => println!("AOS      : DETECTED — {err}"),
+            None => println!("AOS      : not detected (documented limitation, §VII-F)"),
+        }
+        println!();
+    }
+
+    // The forging numbers deserve detail: with a 16-bit PAC, a forged
+    // pointer only works if its PAC collides with a live object in the
+    // same row *and* the bounds cover the address.
+    let attempts = 4096;
+    let (successes, _) = security::pac_forging(attempts);
+    println!(
+        "PAC forging: {successes}/{attempts} forged PACs slipped through \
+         ({:.3}% — the paper argues ~45K attempts are needed for a 50% \
+         chance against one target, §VII-E)",
+        successes as f64 * 100.0 / attempts as f64
+    );
+}

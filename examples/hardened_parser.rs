@@ -1,0 +1,96 @@
+//! A miniature "network message parser" hardened with AOS — including
+//! the future-work extensions (bounds narrowing §VII-F, stack-region
+//! protection §III-D) this repository implements on top of the paper's
+//! evaluated design.
+//!
+//! The parser copies an untrusted length-prefixed payload into a
+//! fixed-size field of a session object. Without narrowing, an
+//! oversized payload silently overwrites the adjacent `privileges`
+//! field (a classic non-control-data attack, §VII-B); with narrowing,
+//! the overflow faults on the first out-of-field byte.
+//!
+//! ```text
+//! cargo run --release --example hardened_parser
+//! ```
+
+use aos_core::{AosProcess, MemorySafetyError};
+
+/// Session layout: 32-byte name buffer, then an 8-byte privilege word
+/// (padded to 16 for the compression granularity).
+const NAME_OFFSET: u64 = 0;
+const NAME_SIZE: u64 = 32;
+const PRIV_OFFSET: u64 = 32;
+
+fn parse_into(
+    process: &mut AosProcess,
+    dest: u64,
+    payload: &[u64],
+) -> Result<(), MemorySafetyError> {
+    for (i, &word) in payload.iter().enumerate() {
+        process.store(dest + NAME_OFFSET + i as u64 * 8, word)?;
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut process = AosProcess::new();
+
+    // The session object: { char name[32]; u64 privileges; pad }.
+    let session = process.malloc(48).expect("session allocates");
+    process.store(session + PRIV_OFFSET, 0).expect("privileges = user");
+
+    let benign: Vec<u64> = vec![0x0065_6369_6C41; 4]; // 32 bytes
+    let malicious: Vec<u64> = vec![0x4141_4141_4141_4141; 5]; // 40 bytes
+
+    // --- Paper's evaluated design: whole-chunk bounds. ---
+    println!("== whole-chunk bounds (paper's evaluated design) ==");
+    parse_into(&mut process, session, &benign).expect("benign fits");
+    parse_into(&mut process, session, &malicious)
+        .expect("40 bytes stay inside the 48-byte chunk: not detected");
+    let escalated = process.load(session + PRIV_OFFSET).expect("read privileges");
+    println!("privileges after attack: {escalated:#x}  (silently escalated!)");
+
+    // Repair the object for round two.
+    process.store(session + PRIV_OFFSET, 0).expect("reset");
+
+    // --- Extension: narrow the destination to the name field. ---
+    println!("\n== with bounds narrowing (§VII-F extension) ==");
+    // Fields at offset 0 share the chunk base (see ExtensionError::
+    // SharesBaseWithParent), so hardened layouts put narrowed fields
+    // at nonzero offsets: { u64 privileges; pad; char name[32] }.
+    let hardened = process.malloc(48).expect("hardened session");
+    process.store(hardened, 0).expect("privileges = user");
+    let name_field = process
+        .narrow(hardened, 16, NAME_SIZE)
+        .expect("field is aligned and in bounds");
+
+    parse_into(&mut process, name_field, &benign).expect("benign still fits");
+    match parse_into(&mut process, name_field, &malicious) {
+        Err(MemorySafetyError::OutOfBounds { pointer, .. }) => {
+            println!("overflowing word faulted at {pointer:#x}: DETECTED");
+        }
+        other => panic!("expected the overflow to fault, got {other:?}"),
+    }
+    let privileges = process.load(hardened).expect("read privileges");
+    println!("privileges after attack: {privileges:#x}  (intact)");
+
+    // --- Extension: protect a "stack" buffer the same way. ---
+    println!("\n== with stack-region protection (§III-D extension) ==");
+    let frame_base = 0x3F00_0000_4000u64;
+    let stack_buf = process
+        .protect_region(frame_base, 64)
+        .expect("frame region signs");
+    process.store(stack_buf + 56, 7).expect("in frame");
+    match process.store(stack_buf + 64, 0x4141) {
+        Err(MemorySafetyError::OutOfBounds { .. }) => {
+            println!("stack-buffer overflow past the frame: DETECTED");
+        }
+        other => panic!("expected the frame overflow to fault, got {other:?}"),
+    }
+    process.release_protection(stack_buf).expect("frame pop");
+    assert!(
+        process.load(stack_buf).is_err(),
+        "popped frame pointer is locked"
+    );
+    println!("popped frame pointer locked, like a freed heap pointer");
+}

@@ -1,0 +1,61 @@
+//! Run one calibrated SPEC workload model on the Table IV machine
+//! under all five system configurations and print the full statistics
+//! — the building block behind Figs. 14–18.
+//!
+//! ```text
+//! cargo run --release --example workload_sim -- hmmer 0.1
+//! ```
+
+use aos_core::experiment::{run, SystemUnderTest};
+use aos_core::isa::SafetyConfig;
+use aos_core::workloads::profile;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "hmmer".into());
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let Some(p) = profile::by_name(&name) else {
+        eprintln!("unknown workload '{name}'; try one of:");
+        for w in profile::SPEC2006 {
+            eprint!("{} ", w.name);
+        }
+        eprintln!();
+        std::process::exit(1);
+    };
+
+    println!("== {} @ scale {scale} ==", p.name);
+    let baseline = run(p, &SystemUnderTest::scaled(SafetyConfig::Baseline, scale));
+    for config in SafetyConfig::ALL {
+        let stats = run(p, &SystemUnderTest::scaled(config, scale));
+        println!("\n-- {config} --");
+        println!(
+            "cycles {:>12}   normalized {:.3}   ipc {:.2}",
+            stats.cycles,
+            stats.cycles as f64 / baseline.cycles as f64,
+            stats.ipc()
+        );
+        println!(
+            "ops retired {:>8}   signed accesses {:>8}   bnd ops {:>6}   pac ops {:>6}",
+            stats.retired_ops, stats.mcu.signed_accesses, stats.mix.bnd_ops, stats.mix.pac_ops
+        );
+        println!(
+            "L1-D miss {:>6.2}%   L2 miss {:>6.2}%   traffic {:>11} B ({:.3}x)",
+            stats.l1d.miss_rate() * 100.0,
+            stats.l2.miss_rate() * 100.0,
+            stats.traffic.total_bytes(),
+            stats.traffic.total_bytes() as f64 / baseline.traffic.total_bytes().max(1) as f64
+        );
+        if config.uses_aos() {
+            println!(
+                "HBT ways {:>2} (resizes {})   accesses/check {:.3}   BWB hit {:.1}%   forwards {}",
+                stats.hbt_ways,
+                stats.hbt_resizes,
+                stats.mcu.accesses_per_check(),
+                stats.bwb.hit_rate() * 100.0,
+                stats.mcu.forwards
+            );
+        }
+    }
+}

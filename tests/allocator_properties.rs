@@ -1,0 +1,107 @@
+//! Property-based tests for the allocator substrate: whatever sequence
+//! of malloc/free a program performs, the heap's structural invariants
+//! hold.
+
+use proptest::prelude::*;
+
+use aos_heap::{Chunk, ChunkState, HeapAllocator, HeapConfig};
+
+proptest! {
+    /// Live chunks never overlap and always leave room for the
+    /// boundary-tag header between them.
+    #[test]
+    fn live_chunks_never_overlap(
+        script in proptest::collection::vec((0u8..3, 0usize..64, 1u64..8192), 1..300),
+    ) {
+        let mut heap = HeapAllocator::new(HeapConfig::default());
+        let mut live: Vec<u64> = Vec::new();
+        for (op, pick, size) in script {
+            match op {
+                0 => {
+                    let a = heap.malloc(size).unwrap();
+                    live.push(a.base);
+                }
+                1 | 2 if !live.is_empty() => {
+                    let base = live.swap_remove(pick % live.len());
+                    heap.free(base).unwrap();
+                }
+                _ => {}
+            }
+        }
+        let chunks: Vec<&Chunk> = heap.live_chunks().collect();
+        prop_assert_eq!(chunks.len() as u64, heap.live_count());
+        for pair in chunks.windows(2) {
+            prop_assert!(
+                pair[0].end() + 16 <= pair[1].base(),
+                "chunks {:#x} and {:#x} collide",
+                pair[0].base(),
+                pair[1].base()
+            );
+        }
+    }
+
+    /// Usable size always covers the request, 16-byte aligned both
+    /// ways.
+    #[test]
+    fn allocations_satisfy_requests(sizes in proptest::collection::vec(1u64..100_000, 1..100)) {
+        let mut heap = HeapAllocator::new(HeapConfig::default());
+        for size in sizes {
+            let a = heap.malloc(size).unwrap();
+            prop_assert!(a.usable_size >= size);
+            prop_assert_eq!(a.base % 16, 0);
+            prop_assert_eq!(a.usable_size % 16, 0);
+        }
+    }
+
+    /// Free-then-reallocate of everything returns the heap to a state
+    /// where the segment does not grow without bound (space is
+    /// recycled through bins or the top).
+    #[test]
+    fn space_is_recycled(size in 1u64..4096, rounds in 1usize..20) {
+        let mut heap = HeapAllocator::new(HeapConfig::default());
+        let first = heap.malloc(size).unwrap();
+        heap.free(first.base).unwrap();
+        let end_after_one = heap.segment_end();
+        for _ in 0..rounds {
+            let a = heap.malloc(size).unwrap();
+            heap.free(a.base).unwrap();
+        }
+        prop_assert_eq!(heap.segment_end(), end_after_one, "no leak across rounds");
+    }
+
+    /// The profile's live counter matches ground truth after any
+    /// script.
+    #[test]
+    fn profile_matches_reality(
+        script in proptest::collection::vec((0u8..2, 0usize..32, 1u64..2048), 1..150),
+    ) {
+        let mut heap = HeapAllocator::new(HeapConfig::default());
+        let mut live: Vec<u64> = Vec::new();
+        let mut allocs = 0u64;
+        let mut frees = 0u64;
+        for (op, pick, size) in script {
+            if op == 0 {
+                live.push(heap.malloc(size).unwrap().base);
+                allocs += 1;
+            } else if !live.is_empty() {
+                heap.free(live.swap_remove(pick % live.len())).unwrap();
+                frees += 1;
+            }
+        }
+        let p = heap.profile();
+        prop_assert_eq!(p.allocations, allocs);
+        prop_assert_eq!(p.deallocations, frees);
+        prop_assert_eq!(p.live as usize, live.len());
+        prop_assert!(p.max_live >= p.live);
+    }
+}
+
+#[test]
+fn chunk_states_reflect_free_lists() {
+    let mut heap = HeapAllocator::new(HeapConfig::default());
+    let a = heap.malloc(64).unwrap();
+    let b = heap.malloc(64).unwrap();
+    heap.free(a.base).unwrap();
+    assert_eq!(heap.chunk_at(a.base).unwrap().state(), ChunkState::Free);
+    assert_eq!(heap.chunk_at(b.base).unwrap().state(), ChunkState::InUse);
+}

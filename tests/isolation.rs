@@ -1,0 +1,78 @@
+//! Per-process isolation: the HBT is per-process (paper §V-B) and PA
+//! keys are per-process state (§III-D), so signed pointers have no
+//! authority outside the process that minted them.
+
+use aos_core::qarma::PacKey;
+use aos_core::{AosProcess, ProcessConfig};
+
+#[test]
+fn pointers_carry_no_authority_across_processes() {
+    // Two processes, different PA keys (as different processes get).
+    let mut alice = AosProcess::with_config(ProcessConfig {
+        key: PacKey::new(0x1111_2222_3333_4444, 0x5555_6666_7777_8888),
+        ..ProcessConfig::default()
+    });
+    let mut bob = AosProcess::with_config(ProcessConfig {
+        key: PacKey::new(0xAAAA_BBBB_CCCC_DDDD, 0xEEEE_FFFF_0101_0202),
+        ..ProcessConfig::default()
+    });
+
+    let a_ptr = alice.malloc(64).unwrap();
+    alice.store(a_ptr, 0x5EC2E7).unwrap();
+
+    // Bob allocates the same address in his own address space (both
+    // heaps start at the same base) — but his bounds live under *his*
+    // PAC, in *his* table.
+    let b_ptr = bob.malloc(64).unwrap();
+    assert_eq!(
+        alice.layout().address(a_ptr),
+        bob.layout().address(b_ptr),
+        "same virtual address in both processes"
+    );
+    assert_ne!(
+        alice.layout().pac(a_ptr),
+        bob.layout().pac(b_ptr),
+        "different keys give different PACs for the same address"
+    );
+
+    // Alice's pointer, injected into Bob's process, fails his bounds
+    // check (wrong PAC row / no matching bounds).
+    assert!(bob.load(a_ptr).is_err(), "foreign pointer has no authority");
+    // And vice versa.
+    assert!(alice.load(b_ptr).is_err());
+    // While each process keeps working with its own pointer.
+    assert_eq!(alice.load(a_ptr).unwrap(), 0x5EC2E7);
+    assert!(bob.load(b_ptr).is_ok());
+}
+
+#[test]
+fn same_key_separate_tables_still_isolate_frees() {
+    // Even with identical keys (fork-style), the tables are separate:
+    // freeing in one process does not unlock the other's pointer.
+    let mut a = AosProcess::new();
+    let mut b = AosProcess::new();
+    let pa = a.malloc(64).unwrap();
+    let pb = b.malloc(64).unwrap();
+    assert_eq!(pa, pb, "identical config ⇒ identical signed pointer");
+    a.free(pa).unwrap();
+    assert!(a.load(pa).is_err(), "freed in a");
+    assert!(b.load(pb).is_ok(), "still live in b");
+}
+
+#[test]
+fn context_is_part_of_the_signing_domain() {
+    // Different signing contexts (the paper uses SP as the modifier)
+    // change every PAC.
+    let a = AosProcess::with_config(ProcessConfig {
+        context: 0x1111,
+        ..ProcessConfig::default()
+    });
+    let b = AosProcess::with_config(ProcessConfig {
+        context: 0x2222,
+        ..ProcessConfig::default()
+    });
+    assert_ne!(
+        a.signer().pac_for(0x4000_0010, 0x1111),
+        b.signer().pac_for(0x4000_0010, 0x2222)
+    );
+}

@@ -1,0 +1,178 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use aos_core::hbt::{CompressedBounds, HashedBoundsTable, HbtConfig};
+use aos_core::ptrauth::{bwb_tag, compute_ahc, Ahc, PointerLayout};
+use aos_core::qarma::{truncate_pac, PacKey, Qarma64};
+use aos_core::AosProcess;
+
+proptest! {
+    /// QARMA is a permutation: invert ∘ compute = identity for any
+    /// data, modifier and key.
+    #[test]
+    fn qarma_is_invertible(data: u64, modifier: u64, hi: u64, lo: u64) {
+        let q = Qarma64::new(PacKey::new(hi, lo));
+        prop_assert_eq!(q.invert(q.compute(data, modifier), modifier), data);
+    }
+
+    /// Truncated PACs always fit their field.
+    #[test]
+    fn pac_truncation_fits(value: u64, bits in 1u32..=32) {
+        prop_assert!(truncate_pac(value, bits) < (1u64 << bits));
+    }
+
+    /// Pointer compose/extract round-trips for any field values in
+    /// range.
+    #[test]
+    fn layout_roundtrips(
+        addr in 0u64..(1 << 46),
+        pac in 0u64..(1 << 16),
+        ahc in 0u8..4,
+    ) {
+        let layout = PointerLayout::default();
+        let p = layout.compose(addr, pac, ahc);
+        prop_assert_eq!(layout.address(p), addr);
+        prop_assert_eq!(layout.pac(p), pac);
+        prop_assert_eq!(layout.ahc(p), ahc);
+        prop_assert_eq!(layout.is_signed(p), ahc != 0);
+        prop_assert_eq!(layout.strip(p), addr);
+    }
+
+    /// Bounds compression: every in-bounds address passes, the
+    /// boundary addresses behave half-open, and nearby out-of-bounds
+    /// addresses fail (within the 33-bit domain).
+    #[test]
+    fn compressed_bounds_are_exact_nearby(
+        base16 in 1u64..(1 << 28),
+        size in 1u64..=(u32::MAX as u64),
+        probe in 0u64..(1 << 20),
+    ) {
+        let base = base16 * 16;
+        let b = CompressedBounds::encode(base, size);
+        // In-bounds probe.
+        let inside = base + probe % size;
+        prop_assert!(b.check(inside));
+        // Half-open upper end.
+        prop_assert!(b.check(base));
+        prop_assert!(b.check(base + size - 1));
+        if base + size < (1 << 33) {
+            prop_assert!(!b.check(base + size));
+        }
+        if base > 0 {
+            prop_assert!(!b.check(base - 1));
+        }
+    }
+
+    /// The AHC classifies by the highest differing bit: growing an
+    /// object never shrinks its class.
+    #[test]
+    fn ahc_is_monotonic_in_size(addr16 in 0u64..(1 << 30), size in 1u64..(1 << 20)) {
+        let addr = addr16 * 16;
+        let small = compute_ahc(addr, size, 46);
+        let large = compute_ahc(addr, size * 2, 46);
+        prop_assert!(large >= small);
+    }
+
+    /// BWB tags are invariant across the addresses inside one object
+    /// (the property Algorithm 2 exists to provide).
+    #[test]
+    fn bwb_tags_invariant_within_object(
+        addr16 in 1u64..(1 << 30),
+        size in 1u64..(1 << 16),
+        o1 in 0u64..(1 << 16),
+        o2 in 0u64..(1 << 16),
+        pac in 0u64..(1 << 16),
+    ) {
+        let addr = addr16 * 16;
+        let ahc = compute_ahc(addr, size, 46);
+        if ahc != Ahc::Large {
+            let off1 = o1 % size;
+            let off2 = o2 % size;
+            prop_assert_eq!(
+                bwb_tag(addr + off1, ahc, pac),
+                bwb_tag(addr + off2, ahc, pac)
+            );
+        }
+    }
+
+    /// HBT store → check → clear → check behaves like a map keyed by
+    /// (pac, base), under arbitrary interleavings of distinct chunks.
+    #[test]
+    fn hbt_behaves_like_a_bounds_map(
+        chunks in proptest::collection::vec((0u64..2048, 1u64..64), 1..24),
+    ) {
+        let mut hbt = HashedBoundsTable::new(HbtConfig {
+            pac_size: 11,
+            initial_ways: 4,
+            max_ways: 64,
+            base_addr: 0x1000_0000,
+            compressed: true,
+        });
+        // Deduplicate bases so entries are distinct.
+        let mut seen = std::collections::HashSet::new();
+        let chunks: Vec<(u64, u64, u64)> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, (pac, granules))| (pac, 0x10_0000 + (i as u64) * (1 << 20), granules * 16))
+            .filter(|(_, base, _)| seen.insert(*base))
+            .collect();
+        for &(pac, base, size) in &chunks {
+            hbt.store(pac, CompressedBounds::encode(base, size)).unwrap();
+        }
+        for &(pac, base, size) in &chunks {
+            prop_assert!(hbt.check(pac, base + size / 2, 0).is_some());
+        }
+        for &(pac, base, _) in &chunks {
+            hbt.clear(pac, base).unwrap();
+        }
+        for &(pac, base, _) in &chunks {
+            prop_assert!(hbt.check(pac, base, 0).is_none());
+        }
+    }
+
+    /// Whole-machine invariant: any interleaving of malloc/free/access
+    /// over valid handles never reports a violation, and every invalid
+    /// operation is caught.
+    #[test]
+    fn process_never_false_positives_on_valid_programs(
+        script in proptest::collection::vec((0u8..4, 0u64..64, 1u64..512), 1..200),
+    ) {
+        let mut p = AosProcess::new();
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (ptr, usable size)
+        for (op, pick, size) in script {
+            match op {
+                0 => {
+                    let ptr = p.malloc(size).unwrap();
+                    // Bin reuse may hand out a chunk larger than the
+                    // request; bounds cover the usable size.
+                    let usable = p
+                        .heap()
+                        .chunk_at(p.layout().address(ptr))
+                        .expect("fresh chunk exists")
+                        .usable_size();
+                    live.push((ptr, usable));
+                }
+                1 if !live.is_empty() => {
+                    let (ptr, size) = live[(pick as usize) % live.len()];
+                    let off = (pick * 7) % size / 8 * 8;
+                    prop_assert!(p.load(ptr + off).is_ok(), "valid load flagged");
+                }
+                2 if !live.is_empty() => {
+                    let (ptr, size) = live[(pick as usize) % live.len()];
+                    let off = (pick * 13) % size / 8 * 8;
+                    prop_assert!(p.store(ptr + off, pick).is_ok(), "valid store flagged");
+                }
+                3 if !live.is_empty() => {
+                    let (ptr, _) = live.swap_remove((pick as usize) % live.len());
+                    prop_assert!(p.free(ptr).is_ok(), "valid free flagged");
+                }
+                _ => {}
+            }
+        }
+        // And now every access one past the usable size fails.
+        for (ptr, usable) in live {
+            prop_assert!(p.load(ptr + usable).is_err(), "OOB missed");
+        }
+    }
+}
