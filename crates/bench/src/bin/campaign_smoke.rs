@@ -1,0 +1,72 @@
+//! The canonical, dependency-free throughput artifact: runs a scaled
+//! Fig. 14 campaign (`SPEC2006 × {Baseline..PA+AOS}`) through the
+//! parallel campaign runner and writes `BENCH_campaign.json`
+//! (schema `aos-campaign-report/v1`: campaign wall-clock, cells/sec,
+//! per-cell sim-cycles/sec).
+//!
+//! ```text
+//! cargo run --release -p aos-bench --bin campaign_smoke -- \
+//!     --scale 0.01 --threads 8 --out BENCH_campaign.json
+//! ```
+//!
+//! `--threads` defaults to `AOS_CAMPAIGN_THREADS`, then to the
+//! machine's available parallelism.
+
+use aos_core::experiment::campaign::{
+    matrix, run_campaign_with_progress, CampaignOptions, Progress,
+};
+use aos_core::experiment::SystemUnderTest;
+use aos_core::isa::SafetyConfig;
+use aos_core::workloads::profile::SPEC2006;
+
+fn arg_value(argv: &[String], flag: &str) -> Option<String> {
+    argv.iter()
+        .position(|a| a == flag)
+        .and_then(|i| argv.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let scale = aos_bench::scale_from_args(argv.iter().cloned());
+    let threads = arg_value(&argv, "--threads").and_then(|s| s.parse().ok());
+    let out_path = arg_value(&argv, "--out").unwrap_or_else(|| "BENCH_campaign.json".to_string());
+
+    let cells = matrix(
+        SPEC2006.iter().copied(),
+        SafetyConfig::ALL.map(|s| SystemUnderTest::scaled(s, scale)),
+    );
+    println!(
+        "campaign: {} cells (SPEC2006 x 5 systems) at scale {scale}",
+        cells.len()
+    );
+    let report = run_campaign_with_progress(
+        &cells,
+        &CampaignOptions { threads },
+        &|p: Progress<'_>| {
+            println!(
+                "  [{:>3}/{}] {:<24} {:>8.2}s",
+                p.completed,
+                p.total,
+                p.cell.label(),
+                p.wall.as_secs_f64()
+            );
+        },
+    );
+
+    println!(
+        "\n{} cells on {} threads in {:.2}s ({:.2} cells/sec, {:.0} sim-cycles/sec aggregate)",
+        report.results.len(),
+        report.threads,
+        report.wall.as_secs_f64(),
+        report.cells_per_sec(),
+        report.total_sim_cycles() as f64 / report.wall.as_secs_f64().max(1e-12),
+    );
+    match report.write_json(&out_path) {
+        Ok(()) => println!("report written to {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,21 +1,55 @@
 //! The table/figure reproductions as string-returning functions, shared
 //! by the `src/bin/*` binaries and the `aos` CLI.
+//!
+//! Every timing matrix here fans out through the campaign runner
+//! ([`aos_core::experiment::campaign`]) — one worker per available
+//! core (or `AOS_CAMPAIGN_THREADS`) — and formats the results from
+//! the deterministic, input-ordered result list.
 
 use std::fmt::Write as _;
 
-use aos_core::experiment::{run, SystemUnderTest};
+use aos_core::experiment::campaign::{matrix, run_campaign, CampaignOptions};
+use aos_core::experiment::SystemUnderTest;
 use aos_core::hwcost::table_i;
 use aos_core::isa::SafetyConfig;
-use aos_core::sim::MachineConfig;
+use aos_core::sim::{MachineConfig, RunStats};
 use aos_core::workloads::microbench::pac_distribution;
 use aos_core::workloads::profile::{REAL_WORLD, SPEC2006};
+use aos_core::heap::profile::UsageProfile;
 use aos_core::workloads::schedule::run_full_schedule;
+use aos_core::workloads::WorkloadProfile;
+use aos_util::par::{effective_threads, ordered_parallel_map};
 use aos_util::stats::geomean;
 
-use crate::{ratio, run_standard};
+use crate::ratio;
 
 fn rule_line(out: &mut String, header: &str) {
     let _ = writeln!(out, "{}", "-".repeat(header.len()));
+}
+
+/// Runs the full `profiles × systems` grid through the campaign
+/// runner and returns the stats row-major: index
+/// `p * systems.len() + s`.
+fn campaign_grid(profiles: &[WorkloadProfile], systems: &[SystemUnderTest]) -> Vec<RunStats> {
+    let cells = matrix(profiles.iter().copied(), systems.iter().copied());
+    run_campaign(&cells, &CampaignOptions::default())
+        .results
+        .into_iter()
+        .map(|r| r.stats)
+        .collect()
+}
+
+/// Runs the allocation schedules of all `profiles` in parallel (the
+/// Tables II/III substrate — no `Machine`, so no campaign cells).
+fn parallel_schedules(profiles: &[WorkloadProfile], scale: f64) -> Vec<UsageProfile> {
+    ordered_parallel_map(profiles, effective_threads(None), |_, p| {
+        run_full_schedule(p, scale)
+    })
+}
+
+/// The five standard systems at one scale, figure plotting order.
+fn standard_systems(scale: f64) -> [SystemUnderTest; 5] {
+    SafetyConfig::ALL.map(|s| SystemUnderTest::scaled(s, scale))
 }
 
 /// Fig. 11: the QARMA PAC distribution study.
@@ -97,8 +131,8 @@ pub fn table2(scale: f64) -> String {
     );
     let _ = writeln!(out, "{header}");
     rule_line(&mut out, &header);
-    for profile in SPEC2006 {
-        let usage = run_full_schedule(profile, scale);
+    let usages = parallel_schedules(SPEC2006, scale);
+    for (profile, usage) in SPEC2006.iter().zip(&usages) {
         let _ = writeln!(
             out,
             "{:<12} {:>12} {:>12} {:>12}   {:>12} {:>12} {:>12}",
@@ -141,8 +175,8 @@ pub fn table3(scale: f64) -> String {
     );
     let _ = writeln!(out, "{header}");
     rule_line(&mut out, &header);
-    for profile in REAL_WORLD {
-        let usage = run_full_schedule(profile, scale);
+    let usages = parallel_schedules(REAL_WORLD, scale);
+    for (profile, usage) in REAL_WORLD.iter().zip(&usages) {
         let desc = DESCRIPTIONS
             .iter()
             .find(|(n, _)| *n == profile.name)
@@ -178,24 +212,20 @@ pub fn fig14(scale: f64) -> String {
     );
     let _ = writeln!(out, "{header}");
     rule_line(&mut out, &header);
-    let systems = [
-        SafetyConfig::Watchdog,
-        SafetyConfig::Pa,
-        SafetyConfig::Aos,
-        SafetyConfig::PaAos,
-    ];
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];
-    for profile in SPEC2006 {
-        let baseline = run_standard(profile, SafetyConfig::Baseline, scale);
+    let systems = standard_systems(scale);
+    let grid = campaign_grid(SPEC2006, &systems);
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); systems.len() - 1];
+    for (p, profile) in SPEC2006.iter().enumerate() {
+        let row_stats = &grid[p * systems.len()..(p + 1) * systems.len()];
+        let baseline = &row_stats[0];
         let mut row = String::new();
         let mut resizes = 0;
-        for (i, system) in systems.iter().enumerate() {
-            let stats = run_standard(profile, *system, scale);
+        for (i, (sut, stats)) in systems.iter().zip(row_stats).enumerate().skip(1) {
             let normalized = stats.cycles as f64 / baseline.cycles as f64;
-            columns[i].push(normalized);
+            columns[i - 1].push(normalized);
             row.push_str(&ratio(normalized));
             row.push(' ');
-            if *system == SafetyConfig::Aos {
+            if sut.safety == SafetyConfig::Aos {
                 resizes = stats.hbt_resizes;
             }
         }
@@ -232,19 +262,22 @@ pub fn fig15(scale: f64) -> String {
     let _ = writeln!(out, "{header}");
     rule_line(&mut out, &header);
     let variants: [(bool, bool); 4] = [(false, false), (true, false), (false, true), (true, true)];
+    // Column 0 is the Baseline divisor; columns 1..=4 the ablations.
+    let mut systems = vec![SystemUnderTest::scaled(SafetyConfig::Baseline, scale)];
+    systems.extend(variants.iter().map(|&(l1b, compression)| SystemUnderTest {
+        l1b,
+        compression,
+        ..SystemUnderTest::scaled(SafetyConfig::Aos, scale)
+    }));
+    let grid = campaign_grid(SPEC2006, &systems);
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
-    for profile in SPEC2006 {
-        let baseline = run(profile, &SystemUnderTest::scaled(SafetyConfig::Baseline, scale));
+    for (p, profile) in SPEC2006.iter().enumerate() {
+        let row_stats = &grid[p * systems.len()..(p + 1) * systems.len()];
+        let baseline = &row_stats[0];
         let mut row = String::new();
-        for (i, (l1b, compression)) in variants.iter().enumerate() {
-            let sut = SystemUnderTest {
-                l1b: *l1b,
-                compression: *compression,
-                ..SystemUnderTest::scaled(SafetyConfig::Aos, scale)
-            };
-            let stats = run(profile, &sut);
+        for (i, stats) in row_stats.iter().enumerate().skip(1) {
             let normalized = stats.cycles as f64 / baseline.cycles as f64;
-            columns[i].push(normalized);
+            columns[i - 1].push(normalized);
             row.push_str(&ratio(normalized));
             row.push(' ');
         }
@@ -280,8 +313,8 @@ pub fn fig16(scale: f64) -> String {
     );
     let _ = writeln!(out, "{header}");
     rule_line(&mut out, &header);
-    for profile in SPEC2006 {
-        let stats = run_standard(profile, SafetyConfig::Aos, scale);
+    let grid = campaign_grid(SPEC2006, &[SystemUnderTest::scaled(SafetyConfig::Aos, scale)]);
+    for (profile, stats) in SPEC2006.iter().zip(&grid) {
         let mix = stats.mix;
         let m = 1e6;
         let _ = writeln!(
@@ -318,8 +351,8 @@ pub fn fig17(scale: f64) -> String {
     );
     let _ = writeln!(out, "{header}");
     rule_line(&mut out, &header);
-    for profile in SPEC2006 {
-        let stats = run_standard(profile, SafetyConfig::Aos, scale);
+    let grid = campaign_grid(SPEC2006, &[SystemUnderTest::scaled(SafetyConfig::Aos, scale)]);
+    for (profile, stats) in SPEC2006.iter().zip(&grid) {
         let _ = writeln!(
             out,
             "{:<12} {:>12.3} {:>9.1}% {:>10}",
@@ -347,21 +380,16 @@ pub fn fig18(scale: f64) -> String {
     );
     let _ = writeln!(out, "{header}");
     rule_line(&mut out, &header);
-    let systems = [
-        SafetyConfig::Watchdog,
-        SafetyConfig::Pa,
-        SafetyConfig::Aos,
-        SafetyConfig::PaAos,
-    ];
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];
-    for profile in SPEC2006 {
-        let baseline = run_standard(profile, SafetyConfig::Baseline, scale);
-        let base_bytes = baseline.traffic.total_bytes().max(1) as f64;
+    let systems = standard_systems(scale);
+    let grid = campaign_grid(SPEC2006, &systems);
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); systems.len() - 1];
+    for (p, profile) in SPEC2006.iter().enumerate() {
+        let row_stats = &grid[p * systems.len()..(p + 1) * systems.len()];
+        let base_bytes = row_stats[0].traffic.total_bytes().max(1) as f64;
         let mut row = String::new();
-        for (i, system) in systems.iter().enumerate() {
-            let stats = run_standard(profile, *system, scale);
+        for (i, stats) in row_stats.iter().enumerate().skip(1) {
             let normalized = stats.traffic.total_bytes() as f64 / base_bytes;
-            columns[i].push(normalized);
+            columns[i - 1].push(normalized);
             row.push_str(&ratio(normalized));
             row.push(' ');
         }
@@ -398,20 +426,16 @@ pub fn realworld_exec_time(scale: f64) -> String {
     );
     let _ = writeln!(out, "{header}");
     rule_line(&mut out, &header);
-    let systems = [
-        SafetyConfig::Watchdog,
-        SafetyConfig::Pa,
-        SafetyConfig::Aos,
-        SafetyConfig::PaAos,
-    ];
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];
-    for profile in REAL_WORLD {
-        let baseline = run_standard(profile, SafetyConfig::Baseline, scale);
+    let systems = standard_systems(scale);
+    let grid = campaign_grid(REAL_WORLD, &systems);
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); systems.len() - 1];
+    for (p, profile) in REAL_WORLD.iter().enumerate() {
+        let row_stats = &grid[p * systems.len()..(p + 1) * systems.len()];
+        let baseline = &row_stats[0];
         let mut row = String::new();
-        for (i, system) in systems.iter().enumerate() {
-            let stats = run_standard(profile, *system, scale);
+        for (i, stats) in row_stats.iter().enumerate().skip(1) {
             let normalized = stats.cycles as f64 / baseline.cycles as f64;
-            columns[i].push(normalized);
+            columns[i - 1].push(normalized);
             row.push_str(&ratio(normalized));
             row.push(' ');
         }

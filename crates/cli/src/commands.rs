@@ -1,6 +1,7 @@
 //! The CLI subcommands.
 
 use aos_bench::reports;
+use aos_core::experiment::campaign::{matrix, run_campaign, CampaignOptions};
 use aos_core::experiment::{run as run_experiment, SystemUnderTest};
 use aos_core::isa::SafetyConfig;
 use aos_core::security;
@@ -20,7 +21,13 @@ USAGE:
   aos attacks                               stage the §VII attack gallery
   aos run <workload> [--system <s>] [--scale <f>] [--json]
                                             run one workload on one system
-  aos compare <workload> [--scale <f>]      all five systems, normalized
+  aos compare <workload> [--scale <f>] [--threads <n>]
+                                            all five systems, normalized
+  aos campaign [--suite spec2006|realworld|all] [--scale <f>]
+               [--threads <n>] [--out <path>]
+                                            run the full workload x system
+                                            matrix in parallel, write a
+                                            JSON report
   aos table <1|2|3|4> [--scale <f>]         reproduce a paper table
   aos fig <11|14|15|16|17|18> [--scale <f>] reproduce a paper figure
   aos pac [--allocations <n>] [--bits <b>] [--live <n>]
@@ -33,6 +40,9 @@ USAGE:
   aos workloads                             list the calibrated workloads
 
 SYSTEMS: baseline, watchdog, pa, aos, pa+aos
+THREADS: --threads beats the AOS_CAMPAIGN_THREADS env var, which beats
+         the machine's available parallelism; results are identical at
+         any thread count.
 "
     .to_string()
 }
@@ -144,7 +154,23 @@ pub fn run(args: &[String]) -> Result<(), String> {
     run_cmd_impl(&Parsed::parse(args)?)
 }
 
-/// `aos compare <workload> [--scale f]`.
+/// Parses an optional `--threads <n>` flag into campaign options.
+fn campaign_options(parsed: &Parsed) -> Result<CampaignOptions, String> {
+    Ok(match parsed.flag("threads") {
+        None => CampaignOptions::default(),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("--threads got unparsable value '{v}'"))?;
+            if n == 0 {
+                return Err("--threads must be at least 1".to_string());
+            }
+            CampaignOptions::with_threads(n)
+        }
+    })
+}
+
+/// `aos compare <workload> [--scale f] [--threads n]`.
 pub fn compare(args: &[String]) -> Result<(), String> {
     let parsed = Parsed::parse(args)?;
     let name = parsed
@@ -152,22 +178,70 @@ pub fn compare(args: &[String]) -> Result<(), String> {
         .ok_or_else(|| "compare requires a workload name".to_string())?;
     let workload = find_workload(name)?;
     let scale = scale(&parsed)?;
+    let options = campaign_options(&parsed)?;
+    // The five systems are one campaign: they run in parallel and
+    // `SafetyConfig::ALL` puts Baseline first, so `results[0]` is the
+    // normalization row.
+    let cells = matrix(
+        [*workload],
+        SafetyConfig::ALL.map(|s| SystemUnderTest::scaled(s, scale)),
+    );
+    let report = run_campaign(&cells, &options);
+    let baseline = &report.results[0].stats;
     println!("== {name} @ scale {scale}: all five systems ==");
-    let baseline =
-        run_experiment(workload, &SystemUnderTest::scaled(SafetyConfig::Baseline, scale));
     println!(
         "{:<10} {:>12} {:>10} {:>8}",
         "system", "cycles", "normalized", "ipc"
     );
-    for system in SafetyConfig::ALL {
-        let stats = run_experiment(workload, &SystemUnderTest::scaled(system, scale));
+    for result in &report.results {
         println!(
             "{:<10} {:>12} {:>10.3} {:>8.2}",
-            system.to_string(),
-            stats.cycles,
-            stats.cycles as f64 / baseline.cycles as f64,
-            stats.ipc()
+            result.cell.sut.safety.to_string(),
+            result.stats.cycles,
+            result.stats.cycles as f64 / baseline.cycles as f64,
+            result.stats.ipc()
         );
+    }
+    Ok(())
+}
+
+/// `aos campaign [--suite s] [--scale f] [--threads n] [--out path]`.
+pub fn campaign(args: &[String]) -> Result<(), String> {
+    let parsed = Parsed::parse(args)?;
+    let scale = scale(&parsed)?;
+    let options = campaign_options(&parsed)?;
+    let suite = parsed.flag("suite").unwrap_or("spec2006");
+    let profiles: Vec<_> = match suite.to_ascii_lowercase().as_str() {
+        "spec2006" | "spec" => SPEC2006.to_vec(),
+        "realworld" | "real-world" => REAL_WORLD.to_vec(),
+        "all" => SPEC2006.iter().chain(REAL_WORLD.iter()).copied().collect(),
+        other => {
+            return Err(format!(
+                "unknown suite '{other}' (spec2006, realworld, all)"
+            ))
+        }
+    };
+    let cells = matrix(
+        profiles,
+        SafetyConfig::ALL.map(|s| SystemUnderTest::scaled(s, scale)),
+    );
+    println!(
+        "campaign: {} cells ({suite} x 5 systems) at scale {scale}",
+        cells.len()
+    );
+    let report = run_campaign(&cells, &options);
+    println!(
+        "{} cells on {} threads in {:.2}s ({:.2} cells/sec)",
+        report.results.len(),
+        report.threads,
+        report.wall.as_secs_f64(),
+        report.cells_per_sec()
+    );
+    if let Some(out) = parsed.flag("out") {
+        report
+            .write_json(out)
+            .map_err(|e| format!("cannot write '{out}': {e}"))?;
+        println!("report written to {out}");
     }
     Ok(())
 }
@@ -362,6 +436,15 @@ mod tests {
         assert!(json.contains("\"workload\":\"mcf\""));
         assert!(json.contains("\"cycles\":"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn campaign_flags_parse() {
+        let p = Parsed::parse(&["--threads".into(), "2".into()]).unwrap();
+        assert_eq!(campaign_options(&p).unwrap().threads, Some(2));
+        let zero = Parsed::parse(&["--threads".into(), "0".into()]).unwrap();
+        assert!(campaign_options(&zero).is_err());
+        assert!(campaign(&["--suite".into(), "mystery".into()]).is_err());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! aos attacks                          stage the §VII attack gallery
 //! aos run <workload> [options]         one workload on one system
 //! aos compare <workload> [--scale f]   all five systems, normalized
+//! aos campaign [options]               parallel workload x system matrix
 //! aos table <1|2|3|4> [--scale f]      reproduce a paper table
 //! aos fig <11|14|15|16|17|18> [--scale f]   reproduce a paper figure
 //! aos pac [--allocations n] [--bits b] the Fig. 11 microbenchmark
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         "attacks" => commands::attacks(),
         "run" => commands::run(rest),
         "compare" => commands::compare(rest),
+        "campaign" => commands::campaign(rest),
         "table" => commands::table(rest),
         "fig" => commands::fig(rest),
         "pac" => commands::pac(rest),

@@ -17,6 +17,8 @@ use aos_isa::SafetyConfig;
 use aos_sim::{Machine, MachineConfig, RunStats};
 use aos_workloads::{TraceGenerator, WorkloadProfile};
 
+pub mod campaign;
+
 /// A fully specified system configuration to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemUnderTest {

@@ -1,0 +1,294 @@
+//! The campaign runner: every figure in the paper is a matrix of
+//! `(workload × system)` simulations, and each cell is an independent
+//! deterministic run — embarrassingly parallel work. This module fans
+//! a cell list out across a scoped worker pool
+//! ([`aos_util::par::ordered_parallel_map`]), returns per-cell
+//! [`RunStats`] **in input order**, and renders a machine-readable
+//! JSON report so perf trajectories can be tracked across PRs.
+//!
+//! Determinism: a cell's simulation consumes no shared mutable state
+//! (each worker builds its own [`TraceGenerator`] and [`Machine`]
+//! from the cell's profile and system), so the stats a cell produces
+//! are identical whether the campaign runs on 1 thread or 64 — the
+//! parallel path only changes wall-clock, never results.
+//!
+//! # Examples
+//!
+//! ```
+//! use aos_core::experiment::campaign::{matrix, run_campaign, CampaignOptions};
+//! use aos_core::experiment::SystemUnderTest;
+//! use aos_core::isa::SafetyConfig;
+//! use aos_core::workloads::profile;
+//!
+//! let cells = matrix(
+//!     [*profile::by_name("mcf").unwrap()],
+//!     [SystemUnderTest::scaled(SafetyConfig::Aos, 0.005)],
+//! );
+//! let report = run_campaign(&cells, &CampaignOptions::default());
+//! assert_eq!(report.results.len(), 1);
+//! assert!(report.results[0].stats.cycles > 0);
+//! ```
+
+use std::time::{Duration, Instant};
+
+use aos_sim::RunStats;
+use aos_util::par::{effective_threads, ordered_parallel_map};
+use aos_workloads::WorkloadProfile;
+
+use super::SystemUnderTest;
+
+/// One `(workload × system)` matrix cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignCell {
+    /// The workload model driving the cell.
+    pub profile: WorkloadProfile,
+    /// The system configuration under test.
+    pub sut: SystemUnderTest,
+}
+
+impl CampaignCell {
+    /// `workload/system` — the cell's display and report key.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.profile.name, self.sut.safety)
+    }
+}
+
+/// The cross product `profiles × systems` in row-major order
+/// (workload-major, matching how the figures print).
+pub fn matrix(
+    profiles: impl IntoIterator<Item = WorkloadProfile>,
+    systems: impl IntoIterator<Item = SystemUnderTest> + Clone,
+) -> Vec<CampaignCell> {
+    profiles
+        .into_iter()
+        .flat_map(|profile| {
+            systems
+                .clone()
+                .into_iter()
+                .map(move |sut| CampaignCell { profile, sut })
+        })
+        .collect()
+}
+
+/// A completed cell: its stats plus how long it took to simulate.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell that ran.
+    pub cell: CampaignCell,
+    /// The machine statistics (identical to `experiment::run`).
+    pub stats: RunStats,
+    /// Wall-clock spent simulating this cell.
+    pub wall: Duration,
+}
+
+impl CellResult {
+    /// Simulated machine cycles per host second — the per-cell
+    /// throughput metric in `BENCH_campaign.json`.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        self.stats.cycles as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Campaign execution knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CampaignOptions {
+    /// Worker-thread count. `None` defers to the `AOS_CAMPAIGN_THREADS`
+    /// environment variable, then to the machine's available
+    /// parallelism (see [`aos_util::par::effective_threads`]).
+    pub threads: Option<usize>,
+}
+
+impl CampaignOptions {
+    /// Options pinned to an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: Some(threads),
+        }
+    }
+}
+
+/// A finished-cell notification, delivered from worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress<'a> {
+    /// Input index of the finished cell.
+    pub index: usize,
+    /// Cells finished so far, including this one.
+    pub completed: usize,
+    /// Total cells in the campaign.
+    pub total: usize,
+    /// The finished cell.
+    pub cell: &'a CampaignCell,
+    /// Wall-clock the cell took.
+    pub wall: Duration,
+}
+
+/// The whole campaign's results and timing.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-cell results, in the input order of the cell list.
+    pub results: Vec<CellResult>,
+    /// Wall-clock for the whole campaign.
+    pub wall: Duration,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+impl CampaignReport {
+    /// Completed cells per host second.
+    pub fn cells_per_sec(&self) -> f64 {
+        self.results.len() as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Total simulated machine cycles across all cells.
+    pub fn total_sim_cycles(&self) -> u64 {
+        self.results.iter().map(|r| r.stats.cycles).sum()
+    }
+
+    /// The `aos-campaign-report/v1` JSON document (schema documented
+    /// in DESIGN.md): campaign wall-clock and cells/sec at the top,
+    /// then one record per cell with its wall-clock and simulated
+    /// cycles per second.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"aos-campaign-report/v1\",\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"cells\": {},\n", self.results.len()));
+        out.push_str(&format!(
+            "  \"wall_seconds\": {:.6},\n",
+            self.wall.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  \"cells_per_sec\": {:.3},\n",
+            self.cells_per_sec()
+        ));
+        out.push_str(&format!(
+            "  \"total_sim_cycles\": {},\n",
+            self.total_sim_cycles()
+        ));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"system\": \"{}\", \"scale\": {}, \
+                 \"wall_seconds\": {:.6}, \"sim_cycles\": {}, \"sim_cycles_per_sec\": {:.0}}}{}\n",
+                r.cell.profile.name,
+                r.cell.sut.safety,
+                r.cell.sut.scale,
+                r.wall.as_secs_f64(),
+                r.stats.cycles,
+                r.sim_cycles_per_sec(),
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes [`CampaignReport::to_json`] to `path`.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Runs every cell across the worker pool and collects results in
+/// input order. See the [module docs](self) for the determinism
+/// guarantee.
+pub fn run_campaign(cells: &[CampaignCell], options: &CampaignOptions) -> CampaignReport {
+    run_campaign_with_progress(cells, options, &|_| {})
+}
+
+/// [`run_campaign`] with a per-cell completion callback.
+///
+/// `progress` is invoked from worker threads (hence `Sync`), once per
+/// finished cell, in completion order — not input order.
+pub fn run_campaign_with_progress(
+    cells: &[CampaignCell],
+    options: &CampaignOptions,
+    progress: &(dyn Fn(Progress<'_>) + Sync),
+) -> CampaignReport {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let threads = effective_threads(options.threads);
+    let completed = AtomicUsize::new(0);
+    let start = Instant::now();
+    let results = ordered_parallel_map(cells, threads, |index, cell| {
+        let cell_start = Instant::now();
+        let stats = super::run(&cell.profile, &cell.sut);
+        let wall = cell_start.elapsed();
+        progress(Progress {
+            index,
+            completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
+            total: cells.len(),
+            cell,
+            wall,
+        });
+        CellResult {
+            cell: *cell,
+            stats,
+            wall,
+        }
+    });
+    CampaignReport {
+        results,
+        wall: start.elapsed(),
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aos_isa::SafetyConfig;
+    use aos_workloads::profile::by_name;
+
+    fn small_cells() -> Vec<CampaignCell> {
+        matrix(
+            ["mcf", "hmmer"].map(|n| *by_name(n).unwrap()),
+            SafetyConfig::ALL.map(|s| SystemUnderTest::scaled(s, 0.004)),
+        )
+    }
+
+    #[test]
+    fn matrix_is_workload_major() {
+        let cells = small_cells();
+        assert_eq!(cells.len(), 10);
+        assert_eq!(cells[0].label(), "mcf/Baseline");
+        assert_eq!(cells[4].label(), "mcf/PA+AOS");
+        assert_eq!(cells[5].label(), "hmmer/Baseline");
+    }
+
+    #[test]
+    fn campaign_preserves_input_order_and_counts_progress() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cells = small_cells();
+        let seen = AtomicUsize::new(0);
+        let report = run_campaign_with_progress(
+            &cells,
+            &CampaignOptions::with_threads(4),
+            &|p: Progress<'_>| {
+                assert!(p.total == 10 && p.completed >= 1 && p.completed <= 10);
+                seen.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(seen.load(Ordering::Relaxed), 10);
+        assert_eq!(report.results.len(), 10);
+        for (cell, result) in cells.iter().zip(&report.results) {
+            assert_eq!(cell.label(), result.cell.label());
+            assert!(result.stats.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let cells = small_cells()[..3].to_vec();
+        let report = run_campaign(&cells, &CampaignOptions::with_threads(2));
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"aos-campaign-report/v1\""));
+        assert!(json.contains("\"cells\": 3"));
+        assert!(json.contains("\"workload\": \"mcf\""));
+        assert_eq!(json.matches("sim_cycles_per_sec").count(), 3);
+        // Balanced braces/brackets: cheap structural sanity without a
+        // JSON parser in the dependency set.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

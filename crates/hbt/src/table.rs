@@ -215,8 +215,26 @@ impl HashedBoundsTable {
 
     /// Drains the 64-byte line addresses touched since the last call —
     /// the metadata traffic a cache model should replay.
+    ///
+    /// Allocates a fresh `Vec` per call; timing loops that drain every
+    /// step should prefer [`HashedBoundsTable::drain_accesses_into`],
+    /// which reuses a caller-provided buffer.
     pub fn drain_accesses(&mut self) -> Vec<u64> {
         std::mem::take(&mut self.accesses)
+    }
+
+    /// Allocation-free variant of [`HashedBoundsTable::drain_accesses`]:
+    /// appends the recorded line addresses to `out` (which the caller
+    /// typically clears and reuses each step) and leaves the internal
+    /// buffer empty with its capacity intact.
+    pub fn drain_accesses_into(&mut self, out: &mut Vec<u64>) {
+        out.append(&mut self.accesses);
+    }
+
+    /// Number of recorded-but-undrained line addresses — lets timing
+    /// loops skip the drain call entirely on quiet steps.
+    pub fn pending_accesses(&self) -> usize {
+        self.accesses.len()
     }
 
     /// Discards recorded accesses (for callers that do not model
@@ -641,6 +659,32 @@ mod tests {
         t.check(1, 0x4000, 0).unwrap();
         t.discard_accesses();
         assert!(t.drain_accesses().is_empty());
+    }
+
+    #[test]
+    fn drain_into_reuses_buffer_and_matches_drain() {
+        let mut t = small_table();
+        t.store(1, bounds(0x4000, 16)).unwrap();
+        t.check(1, 0x4000, 0).unwrap();
+        let expected = t.clone().drain_accesses();
+
+        let mut out = Vec::with_capacity(8);
+        assert_eq!(t.pending_accesses(), expected.len());
+        t.drain_accesses_into(&mut out);
+        assert_eq!(out, expected);
+        assert_eq!(t.pending_accesses(), 0);
+
+        // Repeated drains append into the same buffer without losing
+        // what the caller already collected, and a cleared buffer
+        // keeps its capacity.
+        t.check(1, 0x4000, 0).unwrap();
+        t.drain_accesses_into(&mut out);
+        assert_eq!(out.len(), expected.len() + 1);
+        let capacity = out.capacity();
+        out.clear();
+        t.drain_accesses_into(&mut out);
+        assert!(out.is_empty());
+        assert_eq!(out.capacity(), capacity);
     }
 
     #[test]

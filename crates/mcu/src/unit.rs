@@ -185,6 +185,10 @@ pub struct MemoryCheckUnit {
     bwb: BoundsWayBuffer,
     next_id: u64,
     stats: McuStats,
+    /// Scratch event buffer reused across [`MemoryCheckUnit::run_sync`]
+    /// calls — the functional machine runs one `run_sync` per
+    /// load/store, so a per-call `Vec` allocation is hot-path churn.
+    sync_events: Vec<McuEvent>,
 }
 
 impl MemoryCheckUnit {
@@ -197,6 +201,7 @@ impl MemoryCheckUnit {
             bwb: BoundsWayBuffer::new(config.bwb_entries),
             next_id: 0,
             stats: McuStats::default(),
+            sync_events: Vec::new(),
         }
     }
 
@@ -629,26 +634,28 @@ impl MemoryCheckUnit {
         let id = self.issue(op, 0).expect("empty queue has capacity");
         self.mark_committed(id);
         let mut mem = ZeroLatencyMemory;
-        let mut events = Vec::new();
+        let mut events = std::mem::take(&mut self.sync_events);
+        events.clear();
+        let mut outcome = None;
         for now in 0..BOUNDS_PER_WAY as u64 * 4096 {
             self.tick(now, hbt, &mut mem, &mut events);
             if let Some(ev) = events.drain(..).next() {
-                match ev {
+                outcome = Some(match ev {
                     McuEvent::Exception { exception, .. } => {
                         self.queue.clear();
-                        return Err(exception);
+                        Err(exception)
                     }
-                    McuEvent::Retired { ways_touched, .. } => {
-                        return Ok(CheckOutcome {
-                            skipped,
-                            forwarded: false,
-                            ways_touched,
-                        });
-                    }
-                }
+                    McuEvent::Retired { ways_touched, .. } => Ok(CheckOutcome {
+                        skipped,
+                        forwarded: false,
+                        ways_touched,
+                    }),
+                });
+                break;
             }
         }
-        panic!("MCQ FSM did not converge");
+        self.sync_events = events;
+        outcome.expect("MCQ FSM did not converge")
     }
 }
 

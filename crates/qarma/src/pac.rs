@@ -87,12 +87,35 @@ impl From<u128> for PacKey {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Qarma64 {
     key: PacKey,
+    /// `o(key0)`: the orthomorphism-derived whitening key.
+    modk0: u64,
+    /// Forward round keys `key1 ⊕ cᵢ`.
+    fwd_keys: [u64; 5],
+    /// Backward round keys `c₄₋ᵢ ⊕ key1 ⊕ α`, in application order.
+    bwd_keys: [u64; 5],
 }
 
 impl Qarma64 {
-    /// Creates an instance with the given key.
+    /// Creates an instance with the given key, precomputing the
+    /// whitening and per-round key material that is constant across
+    /// calls — `compute` sits on the pointer-signing hot path and runs
+    /// once per simulated malloc/load/store, so the schedule is built
+    /// here instead of per invocation.
     pub fn new(key: PacKey) -> Self {
-        Self { key }
+        let key0 = key.hi;
+        let key1 = key.lo;
+        let mut fwd_keys = [0u64; 5];
+        let mut bwd_keys = [0u64; 5];
+        for i in 0..RC.len() {
+            fwd_keys[i] = key1 ^ RC[i];
+            bwd_keys[i] = RC[RC.len() - 1 - i] ^ key1 ^ ALPHA;
+        }
+        Self {
+            key,
+            modk0: (key0 << 63) | ((key0 >> 1) ^ (key0 >> 63)),
+            fwd_keys,
+            bwd_keys,
+        }
     }
 
     /// The configured key.
@@ -105,13 +128,11 @@ impl Qarma64 {
     pub fn compute(&self, data: u64, modifier: u64) -> u64 {
         let key0 = self.key.hi;
         let key1 = self.key.lo;
-        // modk0 = o(key0): the orthomorphism-derived whitening key.
-        let modk0 = (key0 << 63) | ((key0 >> 1) ^ (key0 >> 63));
         let mut running_mod = modifier;
         let mut w = data ^ key0;
 
-        for (i, rc) in RC.iter().enumerate() {
-            w ^= key1 ^ running_mod ^ rc;
+        for (i, round_key) in self.fwd_keys.iter().enumerate() {
+            w ^= round_key ^ running_mod;
             if i > 0 {
                 w = cell_shuffle(w);
                 w = mult(w);
@@ -123,7 +144,7 @@ impl Qarma64 {
         // Central construction: full forward round keyed by
         // o(key0) ⊕ tweak, the keyed reflector, full backward round
         // keyed by key0 ⊕ tweak.
-        w ^= modk0 ^ running_mod;
+        w ^= self.modk0 ^ running_mod;
         w = cell_shuffle(w);
         w = mult(w);
         w = sub(w);
@@ -136,16 +157,16 @@ impl Qarma64 {
         w = cell_inv_shuffle(w);
         w ^= key0 ^ running_mod;
 
-        for i in 0..RC.len() {
+        for (i, round_key) in self.bwd_keys.iter().enumerate() {
             w = inv_sub(w);
             if i < RC.len() - 1 {
                 w = mult(w);
                 w = cell_inv_shuffle(w);
             }
             running_mod = tweak_inv_shuffle(running_mod);
-            w ^= RC[RC.len() - 1 - i] ^ key1 ^ running_mod ^ ALPHA;
+            w ^= round_key ^ running_mod;
         }
-        w ^ modk0
+        w ^ self.modk0
     }
 
     /// Inverts [`Qarma64::compute`] for a given modifier.
@@ -157,7 +178,7 @@ impl Qarma64 {
     pub fn invert(&self, output: u64, modifier: u64) -> u64 {
         let key0 = self.key.hi;
         let key1 = self.key.lo;
-        let modk0 = (key0 << 63) | ((key0 >> 1) ^ (key0 >> 63));
+        let modk0 = self.modk0;
 
         // Reconstruct the tweak sequence: t0..t5 forward.
         let mut tweaks = [0u64; 6];
@@ -320,6 +341,93 @@ mod tests {
         let flipped = q.compute(0xfb623599da6e8127 ^ 1, 0x477d469dec0b8762);
         let differing = (base ^ flipped).count_ones();
         assert!(differing >= 16, "only {differing} bits differ");
+    }
+
+    /// The pre-refactor `compute`: derives `modk0` and every round key
+    /// inline per call. Kept as the oracle for the precomputation
+    /// refactor — [`Qarma64::new`] now builds that material once.
+    fn reference_compute(key: PacKey, data: u64, modifier: u64) -> u64 {
+        let key0 = key.hi();
+        let key1 = key.lo();
+        let modk0 = (key0 << 63) | ((key0 >> 1) ^ (key0 >> 63));
+        let mut running_mod = modifier;
+        let mut w = data ^ key0;
+
+        for (i, rc) in RC.iter().enumerate() {
+            w ^= key1 ^ running_mod ^ rc;
+            if i > 0 {
+                w = cell_shuffle(w);
+                w = mult(w);
+            }
+            w = sub(w);
+            running_mod = tweak_shuffle(running_mod);
+        }
+
+        w ^= modk0 ^ running_mod;
+        w = cell_shuffle(w);
+        w = mult(w);
+        w = sub(w);
+        w = cell_shuffle(w);
+        w = mult(w);
+        w ^= key1;
+        w = cell_inv_shuffle(w);
+        w = inv_sub(w);
+        w = mult(w);
+        w = cell_inv_shuffle(w);
+        w ^= key0 ^ running_mod;
+
+        for i in 0..RC.len() {
+            w = inv_sub(w);
+            if i < RC.len() - 1 {
+                w = mult(w);
+                w = cell_inv_shuffle(w);
+            }
+            running_mod = tweak_inv_shuffle(running_mod);
+            w ^= RC[RC.len() - 1 - i] ^ key1 ^ running_mod ^ ALPHA;
+        }
+        w ^ modk0
+    }
+
+    #[test]
+    fn precomputed_schedule_matches_per_call_derivation() {
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for round in 0..256 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(round);
+            let key = PacKey::new(x.rotate_left(17), x.rotate_right(23));
+            let q = Qarma64::new(key);
+            for probe in 0..4u64 {
+                let data = x ^ (probe << 40);
+                let modifier = x.wrapping_add(probe.wrapping_mul(0x0123_4567));
+                assert_eq!(
+                    q.compute(data, modifier),
+                    reference_compute(key, data, modifier),
+                    "key={key:?} data={data:#x} modifier={modifier:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn section_vi_reference_vector_survives_precompute() {
+        // The §VI signing example the paper's walkthrough uses; pinned
+        // explicitly so a schedule regression cannot hide behind the
+        // vector table.
+        let q = Qarma64::new(PacKey::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9));
+        let pac = q.compute(0xfb623599da6e8127, 0x477d469dec0b8762);
+        assert_eq!(pac, 0xc003b93999b33765);
+        assert_eq!(q.invert(pac, 0x477d469dec0b8762), 0xfb623599da6e8127);
+    }
+
+    #[test]
+    fn instances_with_equal_keys_stay_equal() {
+        // The precomputed material is a pure function of the key, so
+        // the derived PartialEq/Hash still mean "same key".
+        let a = Qarma64::new(PacKey::new(7, 9));
+        let b = Qarma64::new(PacKey::new(7, 9));
+        let c = Qarma64::new(PacKey::new(7, 10));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.key(), PacKey::new(7, 9));
     }
 
     #[test]

@@ -113,7 +113,11 @@ impl MachineConfig {
 }
 
 /// Everything a run produces.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is field-by-field: two runs produced identical
+/// statistics — the property the campaign runner's determinism test
+/// asserts between its parallel and sequential paths.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Total cycles simulated.
     pub cycles: u64,
@@ -212,11 +216,18 @@ pub struct Machine {
     stalls_lsq: u64,
     stalls_mcq: u64,
     mcu_events: Vec<McuEvent>,
+    /// Reusable buffer for HBT metadata-line drains — avoids a `Vec`
+    /// allocation per simulated cycle on the checking path.
+    bounds_lines: Vec<u64>,
     /// Completion time of the most recent *chained* load — the running
     /// pointer-traversal dependence.
     last_chain_complete: u64,
     /// The L-TAGE instance, when `branch_model` is `Tage`.
     tage: Option<Tage>,
+    /// `AOS_SIM_DEBUG` presence, sampled once at construction — the
+    /// run loop is the hottest code in the repository and must not
+    /// query the environment every cycle.
+    debug: bool,
 }
 
 impl Machine {
@@ -243,11 +254,13 @@ impl Machine {
             stalls_lsq: 0,
             stalls_mcq: 0,
             mcu_events: Vec::new(),
+            bounds_lines: Vec::new(),
             last_chain_complete: 0,
             tage: match config.branch_model {
                 BranchModel::Tage => Some(Tage::new(TageConfig::default())),
                 BranchModel::TraceProvided => None,
             },
+            debug: std::env::var_os("AOS_SIM_DEBUG").is_some(),
             config,
         }
     }
@@ -286,7 +299,7 @@ impl Machine {
                     None => break,
                 }
             }
-            if std::env::var_os("AOS_SIM_DEBUG").is_some() && self.now.is_multiple_of(1_000_000) {
+            if self.debug && self.now.is_multiple_of(1_000_000) {
                 eprintln!(
                     "[sim] now={} retired={} rob={} mcu={} loads={} stores={} pending={}",
                     self.now,
@@ -355,6 +368,15 @@ impl Machine {
         }
         self.mcu_events = events;
         self.mcu_events.clear();
+        // The FSM models metadata traffic through the BoundsPort
+        // directly, so HBT-side access recording stays empty in timing
+        // mode — but any functional-path operation interleaved between
+        // runs may have recorded lines. Drain them into the reusable
+        // buffer (no allocation) so the record cannot grow unboundedly.
+        if self.hbt.pending_accesses() > 0 {
+            self.bounds_lines.clear();
+            self.hbt.drain_accesses_into(&mut self.bounds_lines);
+        }
     }
 
     fn retire(&mut self) {

@@ -9,6 +9,10 @@
 //!   generator needs (uniform ranges, Bernoulli, Zipf, discrete tables).
 //! - [`stats`] — the summary statistics the paper reports (mean, standard
 //!   deviation, geometric mean) and a fixed-bin [`stats::Histogram`].
+//! - [`par`] — a `std::thread::scope` fork/join helper
+//!   ([`par::ordered_parallel_map`]) that fans independent work items
+//!   across a worker pool while preserving input order, the substrate
+//!   for the campaign runner in `aos-core`.
 //!
 //! # Examples
 //!
@@ -22,6 +26,7 @@
 //! assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
 //! ```
 
+pub mod par;
 pub mod rng;
 pub mod stats;
 

@@ -90,6 +90,10 @@ pub struct TraceGenerator {
     burst_cursor: u64,
     /// Per-site taken bias for the synthetic branch sites.
     branch_bias: Vec<f64>,
+    /// Scratch buffer the `expand::*_site` helpers fill — taken at the
+    /// top of each emit method and restored (empty, capacity kept) at
+    /// the end, so event generation allocates nothing in steady state.
+    extras: Vec<Op>,
 }
 
 impl TraceGenerator {
@@ -138,6 +142,7 @@ impl TraceGenerator {
                     .map(|_| if rng.next_bool(0.8) { 0.95 } else { 0.6 })
                     .collect()
             },
+            extras: Vec::new(),
         }
     }
 
@@ -204,9 +209,10 @@ impl TraceGenerator {
         } else {
             self.push_base(Op::IntAlu);
             if self.rng.next_bool(p.pointer_arith_fraction) {
-                let mut extras = Vec::new();
+                let mut extras = std::mem::take(&mut self.extras);
                 expand::pointer_arith_site(self.config, &mut extras);
                 self.push_extras(&mut extras);
+                self.extras = extras;
             }
         }
     }
@@ -215,7 +221,7 @@ impl TraceGenerator {
         let p = self.profile;
         let is_store = self.rng.next_bool(p.store_fraction);
         let heap_access = !self.live.is_empty() && self.rng.next_bool(p.heap_fraction);
-        let mut extras = Vec::new();
+        let mut extras = std::mem::take(&mut self.extras);
         if heap_access {
             let mut chained = false;
             if self.burst_left == 0 || self.burst.is_none() {
@@ -280,6 +286,7 @@ impl TraceGenerator {
                 }
             });
         }
+        self.extras = extras;
     }
 
     /// Picks a live chunk with recency-biased (Zipf) reuse.
@@ -316,7 +323,7 @@ impl TraceGenerator {
     }
 
     fn emit_call(&mut self) {
-        let mut extras = Vec::new();
+        let mut extras = std::mem::take(&mut self.extras);
         // Prologue.
         expand::function_boundary(self.config, &mut extras);
         self.push_extras(&mut extras);
@@ -325,6 +332,7 @@ impl TraceGenerator {
         self.push_base(Op::IntAlu);
         expand::function_boundary(self.config, &mut extras);
         self.push_extras(&mut extras);
+        self.extras = extras;
     }
 
     fn emit_malloc(&mut self) {
@@ -357,9 +365,10 @@ impl TraceGenerator {
             bytes: 8,
         });
         // Instrumentation (Fig. 7a / Fig. 5a ¬).
-        let mut extras = Vec::new();
+        let mut extras = std::mem::take(&mut self.extras);
         expand::malloc_site(self.config, ptr, alloc.usable_size, &mut extras);
         self.push_extras(&mut extras);
+        self.extras = extras;
         self.live.push_back(LiveChunk {
             ptr,
             base: alloc.base,
@@ -384,7 +393,7 @@ impl TraceGenerator {
             self.burst = None;
             self.burst_left = 0;
         }
-        let mut extras = Vec::new();
+        let mut extras = std::mem::take(&mut self.extras);
         // Fig. 7b lines 1–2: bndclr + xpacm before the free body.
         expand::free_site_pre(self.config, victim.ptr, &mut extras);
         self.push_extras(&mut extras);
@@ -402,6 +411,7 @@ impl TraceGenerator {
         // Fig. 7b line 4: re-sign to lock the dangling pointer.
         expand::free_site_post(self.config, victim.ptr, &mut extras);
         self.push_extras(&mut extras);
+        self.extras = extras;
     }
 }
 

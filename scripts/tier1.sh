@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the offline build-and-test cycle every change must pass.
+#
+# Works with no network access — proptest/criterion resolve to the
+# shims vendored under vendor/ (see DESIGN.md §3).
+#
+# Usage: scripts/tier1.sh [--with-smoke]
+#   --with-smoke  also run a scaled parallel campaign and emit
+#                 BENCH_campaign.json at the repo root.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+if [[ "${1:-}" == "--with-smoke" ]]; then
+    echo "== campaign smoke: SPEC2006 x 5 systems, scaled =="
+    cargo run -q --release -p aos-bench --bin campaign_smoke -- \
+        --scale 0.01 --out BENCH_campaign.json
+fi
+
+echo "tier-1 OK"

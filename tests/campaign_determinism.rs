@@ -1,0 +1,50 @@
+//! The campaign runner's determinism guarantee: a parallel campaign
+//! produces, cell for cell, the exact `RunStats` the sequential
+//! single-cell API produces — for every one of the five systems and at
+//! any thread count. This is what licenses reproducing paper figures
+//! through the worker pool.
+
+use aos_core::experiment::campaign::{matrix, run_campaign, CampaignOptions};
+use aos_core::experiment::{run, SystemUnderTest};
+use aos_core::isa::SafetyConfig;
+use aos_core::workloads::profile::by_name;
+
+#[test]
+fn parallel_campaign_matches_sequential_runs_for_all_systems() {
+    let profiles = [*by_name("mcf").unwrap(), *by_name("axel").unwrap()];
+    let systems = SafetyConfig::ALL.map(|s| SystemUnderTest::scaled(s, 0.004));
+    let cells = matrix(profiles, systems);
+    assert_eq!(cells.len(), profiles.len() * systems.len());
+
+    let report = run_campaign(&cells, &CampaignOptions::with_threads(4));
+    assert_eq!(report.results.len(), cells.len());
+
+    for (cell, result) in cells.iter().zip(&report.results) {
+        let sequential = run(&cell.profile, &cell.sut);
+        // RunStats is PartialEq over every counter it carries — cycles,
+        // cache/traffic/MCU/BWB statistics, violations, mispredicts —
+        // so one comparison covers the full field set.
+        assert_eq!(
+            sequential,
+            result.stats,
+            "parallel and sequential stats diverge for {}",
+            cell.label()
+        );
+        assert_eq!(result.cell.label(), cell.label());
+    }
+}
+
+#[test]
+fn thread_count_never_changes_results() {
+    let profiles = [*by_name("soplex").unwrap()];
+    let systems = SafetyConfig::ALL.map(|s| SystemUnderTest::scaled(s, 0.004));
+    let cells = matrix(profiles, systems);
+
+    let one = run_campaign(&cells, &CampaignOptions::with_threads(1));
+    for threads in [2, 3, 8] {
+        let many = run_campaign(&cells, &CampaignOptions::with_threads(threads));
+        for (a, b) in one.results.iter().zip(&many.results) {
+            assert_eq!(a.stats, b.stats, "{} at {threads} threads", a.cell.label());
+        }
+    }
+}

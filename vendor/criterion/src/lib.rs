@@ -1,0 +1,237 @@
+//! A minimal, dependency-free, **offline** stand-in for the
+//! `criterion` benchmark harness, covering the subset of its API this
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`,
+//! `bench_function`, `bench_with_input`, `finish`), [`BenchmarkId`],
+//! [`Bencher::iter`] / [`Bencher::iter_with_setup`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical sampling it runs each closure
+//! for a short calibrated batch and prints the mean time per
+//! iteration. The numbers are rough — the canonical perf artifact is
+//! the std-only campaign smoke bench (`BENCH_campaign.json`) — but the
+//! benches compile and run with zero registry dependencies.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring one benchmark.
+const TARGET_NANOS: u128 = 200_000_000;
+
+/// The top-level harness handle passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Criterion's CLI parsing — accepted and ignored here so the
+    /// `criterion_group!` expansion stays source-compatible.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's sample-count knob; measurement here is
+    /// time-budgeted instead, so the value is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IdLike, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.render()), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IdLike, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.render()), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (criterion emits summary reports here; the shim
+    /// has nothing left to do).
+    pub fn finish(self) {}
+}
+
+/// Benchmark names: either a plain string or a [`BenchmarkId`].
+pub trait IdLike {
+    /// The display form used in the printed report line.
+    fn render(&self) -> String;
+}
+
+impl IdLike for &str {
+    fn render(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLike for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+impl IdLike for BenchmarkId {
+    fn render(&self) -> String {
+        self.0.clone()
+    }
+}
+
+/// A `function_name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds the two-part identifier.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An identifier that is only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+/// Passed to each benchmark closure; drives the measured iterations.
+pub struct Bencher {
+    /// Total measured time in nanoseconds, summed across batches.
+    elapsed_nanos: u128,
+    /// Total measured iterations across batches.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let mut batch: u64 = 1;
+        while self.elapsed_nanos < TARGET_NANOS {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed_nanos += start.elapsed().as_nanos();
+            self.iters += batch;
+            batch = (batch.saturating_mul(2)).min(1 << 20);
+        }
+    }
+
+    /// Like [`Bencher::iter`], but runs `setup` outside the timed
+    /// region before every measured call.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        while self.elapsed_nanos < TARGET_NANOS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Measures one benchmark closure and prints its mean iteration time.
+fn run_one<F>(id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        elapsed_nanos: 0,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{id:<48} (no iterations)");
+        return;
+    }
+    let per_iter = bencher.elapsed_nanos as f64 / bencher.iters as f64;
+    println!(
+        "{id:<48} {:>12.1} ns/iter ({} iters)",
+        per_iter, bencher.iters
+    );
+}
+
+/// Bundles bench functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $cfg;
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &v| {
+            b.iter(|| v * 2)
+        });
+        group.finish();
+    }
+}
