@@ -1,8 +1,8 @@
 //! The canonical, dependency-free throughput artifact: runs a scaled
 //! Fig. 14 campaign (`SPEC2006 × {Baseline..PA+AOS}`) through the
 //! parallel campaign runner and writes `BENCH_campaign.json`
-//! (schema `aos-campaign-report/v1`: campaign wall-clock, cells/sec,
-//! per-cell sim-cycles/sec).
+//! (schema `aos-campaign-report/v2`: campaign wall-clock, cells/sec,
+//! cell-health counters, per-cell status and sim-cycles/sec).
 //!
 //! ```text
 //! cargo run --release -p aos-bench --bin campaign_smoke -- \
@@ -42,7 +42,10 @@ fn main() {
     );
     let report = run_campaign_with_progress(
         &cells,
-        &CampaignOptions { threads },
+        &CampaignOptions {
+            threads,
+            ..CampaignOptions::default()
+        },
         &|p: Progress<'_>| {
             println!(
                 "  [{:>3}/{}] {:<24} {:>8.2}s",

@@ -35,7 +35,17 @@ fn campaign_grid(profiles: &[WorkloadProfile], systems: &[SystemUnderTest]) -> V
     run_campaign(&cells, &CampaignOptions::default())
         .results
         .into_iter()
-        .map(|r| r.stats)
+        .map(|r| {
+            let label = r.cell.label();
+            match r.outcome {
+                aos_core::experiment::campaign::CellOutcome::Completed(stats) => stats,
+                aos_core::experiment::campaign::CellOutcome::Failed { error } => {
+                    // Report generation needs every grid cell; a hole
+                    // here means the figure itself is wrong.
+                    panic!("campaign cell {label} failed: {error}")
+                }
+            }
+        })
         .collect()
 }
 

@@ -9,6 +9,8 @@ use aos_core::sim::RunStats;
 use aos_core::workloads::collisions;
 use aos_core::workloads::microbench::pac_distribution;
 use aos_core::workloads::profile::{self, REAL_WORLD, SPEC2006};
+use aos_fault::campaign::FaultCampaignConfig;
+use aos_fault::{run_fault_campaign, FaultKind};
 
 use crate::args::{scale, Parsed};
 
@@ -28,6 +30,16 @@ USAGE:
                                             run the full workload x system
                                             matrix in parallel, write a
                                             JSON report
+  aos faults [--workload <w>] [--scale <f>] [--seeds <n>]
+             [--kinds <k1,k2,..>] [--threads <n>] [--out <path>]
+             [--strict true]
+                                            fault-injection sweep: inject
+                                            seeded overflow/underflow/UAF/
+                                            double-free/PAC/AHC faults,
+                                            verify AOS detects what the
+                                            Baseline misses; --strict fails
+                                            unless detection is 100% with
+                                            zero false positives
   aos table <1|2|3|4> [--scale <f>]         reproduce a paper table
   aos fig <11|14|15|16|17|18> [--scale <f>] reproduce a paper figure
   aos pac [--allocations <n>] [--bits <b>] [--live <n>]
@@ -187,20 +199,32 @@ pub fn compare(args: &[String]) -> Result<(), String> {
         SafetyConfig::ALL.map(|s| SystemUnderTest::scaled(s, scale)),
     );
     let report = run_campaign(&cells, &options);
-    let baseline = &report.results[0].stats;
+    let baseline = report.results[0]
+        .stats()
+        .ok_or_else(|| format!("baseline cell failed: {}", report.results[0].error().unwrap_or("?")))?;
     println!("== {name} @ scale {scale}: all five systems ==");
     println!(
         "{:<10} {:>12} {:>10} {:>8}",
         "system", "cycles", "normalized", "ipc"
     );
     for result in &report.results {
-        println!(
-            "{:<10} {:>12} {:>10.3} {:>8.2}",
-            result.cell.sut.safety.to_string(),
-            result.stats.cycles,
-            result.stats.cycles as f64 / baseline.cycles as f64,
-            result.stats.ipc()
-        );
+        match result.stats() {
+            Some(stats) => println!(
+                "{:<10} {:>12} {:>10.3} {:>8.2}",
+                result.cell.sut.safety.to_string(),
+                stats.cycles,
+                stats.cycles as f64 / baseline.cycles as f64,
+                stats.ipc()
+            ),
+            None => println!(
+                "{:<10} {:>12} {:>10} {:>8}  ({})",
+                result.cell.sut.safety.to_string(),
+                "-",
+                "-",
+                "-",
+                result.error().unwrap_or("failed")
+            ),
+        }
     }
     Ok(())
 }
@@ -231,17 +255,99 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
     );
     let report = run_campaign(&cells, &options);
     println!(
-        "{} cells on {} threads in {:.2}s ({:.2} cells/sec)",
+        "{} cells on {} threads in {:.2}s ({:.2} cells/sec; {} completed, {} degraded, {} failed)",
         report.results.len(),
         report.threads,
         report.wall.as_secs_f64(),
-        report.cells_per_sec()
+        report.cells_per_sec(),
+        report.completed(),
+        report.degraded(),
+        report.failed()
     );
     if let Some(out) = parsed.flag("out") {
         report
             .write_json(out)
             .map_err(|e| format!("cannot write '{out}': {e}"))?;
         println!("report written to {out}");
+    }
+    Ok(())
+}
+
+/// `aos faults [--workload w] [--scale f] [--seeds n] [--kinds k,..]
+/// [--threads n] [--out path] [--strict true]`.
+pub fn faults(args: &[String]) -> Result<(), String> {
+    let parsed = Parsed::parse(args)?;
+    let workload = find_workload(parsed.flag("workload").unwrap_or("hmmer"))?;
+    // Fault sweeps replay the trace once per (kind, seed, system):
+    // default to a small window instead of the global full-scale one.
+    let scale: f64 = parsed.flag_or("scale", 0.004)?;
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(format!("--scale must be in (0, 1], got {scale}"));
+    }
+    let seed_count: u64 = parsed.flag_or("seeds", 3u64)?;
+    if seed_count == 0 {
+        return Err("--seeds must be at least 1".to_string());
+    }
+    let kinds = match parsed.flag("kinds") {
+        None => FaultKind::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|k| FaultKind::parse(k.trim()).map_err(|e| e.to_string()))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let options = campaign_options(&parsed)?;
+    let strict = parsed.flag("strict").is_some_and(|v| v != "false");
+
+    let config = FaultCampaignConfig {
+        kinds,
+        options,
+        ..FaultCampaignConfig::standard(*workload, scale, (1..=seed_count).collect())
+    };
+    println!(
+        "faults: {} on {} kinds x {} seeds x {{AOS, Baseline}} at scale {scale}",
+        workload.name,
+        config.kinds.len(),
+        seed_count
+    );
+    let outcome = run_fault_campaign(&config).map_err(|e| e.to_string())?;
+
+    println!(
+        "{:<12} {:>6} {:>10} {:>12} {:>12}",
+        "kind", "seed", "system", "violations", "verdict"
+    );
+    for trial in &outcome.matrix.trials {
+        println!(
+            "{:<12} {:>6} {:>10} {:>12} {:>12}",
+            trial.spec.kind.name(),
+            trial.spec.seed,
+            trial.system.to_string(),
+            trial.faulty_violations,
+            if trial.system.uses_aos() {
+                trial.verdict().to_string()
+            } else {
+                format!("{} (expected)", trial.verdict())
+            },
+        );
+    }
+    println!(
+        "\ndetection rate {:.1}% over {} protected trials, {} false positives, {} failed cells",
+        outcome.matrix.detection_rate() * 100.0,
+        outcome.matrix.protected().count(),
+        outcome.matrix.false_positives(),
+        outcome.report.failed(),
+    );
+    if let Some(out) = parsed.flag("out") {
+        outcome
+            .report
+            .write_json(out)
+            .map_err(|e| format!("cannot write '{out}': {e}"))?;
+        println!("report written to {out}");
+    }
+    if strict && (!outcome.matrix.is_sound() || outcome.report.failed() > 0) {
+        return Err(format!(
+            "strict fault gate failed: {}",
+            outcome.matrix.to_json_value()
+        ));
     }
     Ok(())
 }

@@ -5,6 +5,7 @@
 //! aos run <workload> [options]         one workload on one system
 //! aos compare <workload> [--scale f]   all five systems, normalized
 //! aos campaign [options]               parallel workload x system matrix
+//! aos faults [options]                 seeded fault-injection sweep
 //! aos table <1|2|3|4> [--scale f]      reproduce a paper table
 //! aos fig <11|14|15|16|17|18> [--scale f]   reproduce a paper figure
 //! aos pac [--allocations n] [--bits b] the Fig. 11 microbenchmark
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         "run" => commands::run(rest),
         "compare" => commands::compare(rest),
         "campaign" => commands::campaign(rest),
+        "faults" => commands::faults(rest),
         "table" => commands::table(rest),
         "fig" => commands::fig(rest),
         "pac" => commands::pac(rest),

@@ -2,15 +2,24 @@
 //! `(workload × system)` simulations, and each cell is an independent
 //! deterministic run — embarrassingly parallel work. This module fans
 //! a cell list out across a scoped worker pool
-//! ([`aos_util::par::ordered_parallel_map`]), returns per-cell
-//! [`RunStats`] **in input order**, and renders a machine-readable
-//! JSON report so perf trajectories can be tracked across PRs.
+//! ([`aos_util::par::ordered_parallel_catch`]), returns per-cell
+//! [`CellResult`]s **in input order**, and renders a machine-readable
+//! JSON report (`aos-campaign-report/v2`) so perf trajectories can be
+//! tracked across PRs.
 //!
 //! Determinism: a cell's simulation consumes no shared mutable state
 //! (each worker builds its own [`TraceGenerator`] and [`Machine`]
 //! from the cell's profile and system), so the stats a cell produces
 //! are identical whether the campaign runs on 1 thread or 64 — the
 //! parallel path only changes wall-clock, never results.
+//!
+//! Degradation semantics: one poisoned cell must never sink a whole
+//! figure. Each cell runs under `catch_unwind` (and optionally a
+//! wall-clock timeout and bounded retry with linear backoff, see
+//! [`CampaignOptions`]); a cell that still fails is recorded as
+//! [`CellOutcome::Failed`] with the captured panic message while every
+//! other cell completes normally. A cell that needed more than one
+//! attempt completes but is marked *degraded* in the report.
 //!
 //! # Examples
 //!
@@ -26,12 +35,16 @@
 //! );
 //! let report = run_campaign(&cells, &CampaignOptions::default());
 //! assert_eq!(report.results.len(), 1);
-//! assert!(report.results[0].stats.cycles > 0);
+//! assert!(report.results[0].stats().unwrap().cycles > 0);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aos_sim::RunStats;
+use aos_util::error::panic_message;
 use aos_util::par::{effective_threads, ordered_parallel_map};
 use aos_workloads::WorkloadProfile;
 
@@ -70,22 +83,79 @@ pub fn matrix(
         .collect()
 }
 
-/// A completed cell: its stats plus how long it took to simulate.
+/// How a cell ended: with statistics, or with a captured failure.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The simulation ran to completion.
+    Completed(RunStats),
+    /// Every attempt panicked or timed out; the cell was skipped so the
+    /// rest of the campaign could finish.
+    Failed {
+        /// The captured panic message (or timeout description) of the
+        /// final attempt.
+        error: String,
+    },
+}
+
+/// A finished cell: its outcome plus how long it took to simulate.
 #[derive(Debug, Clone)]
 pub struct CellResult {
     /// The cell that ran.
     pub cell: CampaignCell,
-    /// The machine statistics (identical to `experiment::run`).
-    pub stats: RunStats,
-    /// Wall-clock spent simulating this cell.
+    /// How the cell ended.
+    pub outcome: CellOutcome,
+    /// Wall-clock spent on this cell, across all attempts.
     pub wall: Duration,
+    /// Attempts consumed (1 = clean first run).
+    pub attempts: u32,
 }
 
 impl CellResult {
+    /// The machine statistics, when the cell completed.
+    pub fn stats(&self) -> Option<&RunStats> {
+        match &self.outcome {
+            CellOutcome::Completed(stats) => Some(stats),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The final attempt's error, when the cell failed.
+    pub fn error(&self) -> Option<&str> {
+        match &self.outcome {
+            CellOutcome::Completed(_) => None,
+            CellOutcome::Failed { error } => Some(error),
+        }
+    }
+
+    /// Completed, but only after at least one failed attempt.
+    pub fn is_degraded(&self) -> bool {
+        self.stats().is_some() && self.attempts > 1
+    }
+
+    /// Every attempt failed.
+    pub fn is_failed(&self) -> bool {
+        self.stats().is_none()
+    }
+
+    /// The report's per-cell status string: `completed`, `degraded`,
+    /// or `failed`.
+    pub fn status(&self) -> &'static str {
+        if self.is_failed() {
+            "failed"
+        } else if self.is_degraded() {
+            "degraded"
+        } else {
+            "completed"
+        }
+    }
+
     /// Simulated machine cycles per host second — the per-cell
-    /// throughput metric in `BENCH_campaign.json`.
+    /// throughput metric in `BENCH_campaign.json`. Zero for failed
+    /// cells.
     pub fn sim_cycles_per_sec(&self) -> f64 {
-        self.stats.cycles as f64 / self.wall.as_secs_f64().max(1e-12)
+        self.stats()
+            .map(|s| s.cycles as f64 / self.wall.as_secs_f64().max(1e-12))
+            .unwrap_or(0.0)
     }
 }
 
@@ -96,6 +166,17 @@ pub struct CampaignOptions {
     /// environment variable, then to the machine's available
     /// parallelism (see [`aos_util::par::effective_threads`]).
     pub threads: Option<usize>,
+    /// Per-cell wall-clock limit. A cell that exceeds it counts as a
+    /// failed attempt (subject to [`CampaignOptions::retries`]). `None`
+    /// (the default) disables the limit. The timed-out simulation runs
+    /// on a detached thread that cannot be cancelled; it is abandoned
+    /// and its work discarded when it eventually finishes.
+    pub cell_timeout: Option<Duration>,
+    /// Extra attempts after a failed one (0 = fail fast, the default).
+    pub retries: u32,
+    /// Base backoff slept between attempts; attempt `n` waits
+    /// `retry_backoff * n`. Default: no backoff.
+    pub retry_backoff: Duration,
 }
 
 impl CampaignOptions {
@@ -103,7 +184,21 @@ impl CampaignOptions {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: Some(threads),
+            ..Self::default()
         }
+    }
+
+    /// Sets a per-cell wall-clock limit.
+    pub fn timeout(mut self, limit: Duration) -> Self {
+        self.cell_timeout = Some(limit);
+        self
+    }
+
+    /// Sets the retry budget and linear-backoff base.
+    pub fn retry(mut self, retries: u32, backoff: Duration) -> Self {
+        self.retries = retries;
+        self.retry_backoff = backoff;
+        self
     }
 }
 
@@ -131,28 +226,65 @@ pub struct CampaignReport {
     pub wall: Duration,
     /// Worker threads actually used.
     pub threads: usize,
+    /// Extra top-level report fields as `(key, raw JSON value)` pairs,
+    /// spliced verbatim into [`CampaignReport::to_json`]. Lets callers
+    /// (e.g. the fault-injection harness) attach domain data without
+    /// this crate knowing its shape.
+    pub annotations: Vec<(String, String)>,
 }
 
 impl CampaignReport {
-    /// Completed cells per host second.
+    /// Finished cells per host second (failed cells included: the rate
+    /// measures campaign progress, not simulation success).
     pub fn cells_per_sec(&self) -> f64 {
         self.results.len() as f64 / self.wall.as_secs_f64().max(1e-12)
     }
 
-    /// Total simulated machine cycles across all cells.
+    /// Total simulated machine cycles across all completed cells.
     pub fn total_sim_cycles(&self) -> u64 {
-        self.results.iter().map(|r| r.stats.cycles).sum()
+        self.results
+            .iter()
+            .filter_map(|r| r.stats().map(|s| s.cycles))
+            .sum()
     }
 
-    /// The `aos-campaign-report/v1` JSON document (schema documented
-    /// in DESIGN.md): campaign wall-clock and cells/sec at the top,
-    /// then one record per cell with its wall-clock and simulated
-    /// cycles per second.
+    /// Cells that completed on the first attempt.
+    pub fn completed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| !r.is_failed() && !r.is_degraded())
+            .count()
+    }
+
+    /// Cells that completed, but needed more than one attempt.
+    pub fn degraded(&self) -> usize {
+        self.results.iter().filter(|r| r.is_degraded()).count()
+    }
+
+    /// Cells whose every attempt failed.
+    pub fn failed(&self) -> usize {
+        self.results.iter().filter(|r| r.is_failed()).count()
+    }
+
+    /// Attaches an extra top-level JSON field. `value` must already be
+    /// valid JSON (number, string with quotes, object, ...).
+    pub fn annotate(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.annotations.push((key.into(), value.into()));
+    }
+
+    /// The `aos-campaign-report/v2` JSON document (schema documented
+    /// in DESIGN.md): campaign wall-clock, cell-health counters and
+    /// cells/sec at the top, then one record per cell with its status,
+    /// attempts, wall-clock and (for completed cells) simulated cycles
+    /// per second. Failed cells carry the captured error instead.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"aos-campaign-report/v1\",\n");
+        out.push_str("  \"schema\": \"aos-campaign-report/v2\",\n");
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"cells\": {},\n", self.results.len()));
+        out.push_str(&format!("  \"completed\": {},\n", self.completed()));
+        out.push_str(&format!("  \"degraded\": {},\n", self.degraded()));
+        out.push_str(&format!("  \"failed\": {},\n", self.failed()));
         out.push_str(&format!(
             "  \"wall_seconds\": {:.6},\n",
             self.wall.as_secs_f64()
@@ -165,17 +297,31 @@ impl CampaignReport {
             "  \"total_sim_cycles\": {},\n",
             self.total_sim_cycles()
         ));
+        for (key, value) in &self.annotations {
+            out.push_str(&format!("  \"{}\": {},\n", json_escape(key), value));
+        }
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
+            let body = match &r.outcome {
+                CellOutcome::Completed(stats) => format!(
+                    "\"sim_cycles\": {}, \"sim_cycles_per_sec\": {:.0}",
+                    stats.cycles,
+                    r.sim_cycles_per_sec(),
+                ),
+                CellOutcome::Failed { error } => {
+                    format!("\"error\": \"{}\"", json_escape(error))
+                }
+            };
             out.push_str(&format!(
                 "    {{\"workload\": \"{}\", \"system\": \"{}\", \"scale\": {}, \
-                 \"wall_seconds\": {:.6}, \"sim_cycles\": {}, \"sim_cycles_per_sec\": {:.0}}}{}\n",
+                 \"status\": \"{}\", \"attempts\": {}, \"wall_seconds\": {:.6}, {}}}{}\n",
                 r.cell.profile.name,
                 r.cell.sut.safety,
                 r.cell.sut.scale,
+                r.status(),
+                r.attempts,
                 r.wall.as_secs_f64(),
-                r.stats.cycles,
-                r.sim_cycles_per_sec(),
+                body,
                 if i + 1 < self.results.len() { "," } else { "" },
             ));
         }
@@ -189,9 +335,32 @@ impl CampaignReport {
     }
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// enough for panic messages; keeps the report free of a JSON
+/// dependency.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The function a campaign invokes per cell. Shared (`Arc`) because a
+/// timed-out attempt leaves a clone running on its abandoned thread.
+pub type CellRunner = Arc<dyn Fn(usize, &CampaignCell) -> RunStats + Send + Sync>;
+
 /// Runs every cell across the worker pool and collects results in
 /// input order. See the [module docs](self) for the determinism
-/// guarantee.
+/// guarantee and failure isolation.
 pub fn run_campaign(cells: &[CampaignCell], options: &CampaignOptions) -> CampaignReport {
     run_campaign_with_progress(cells, options, &|_| {})
 }
@@ -199,11 +368,29 @@ pub fn run_campaign(cells: &[CampaignCell], options: &CampaignOptions) -> Campai
 /// [`run_campaign`] with a per-cell completion callback.
 ///
 /// `progress` is invoked from worker threads (hence `Sync`), once per
-/// finished cell, in completion order — not input order.
+/// finished cell (completed **or** failed), in completion order — not
+/// input order.
 pub fn run_campaign_with_progress(
     cells: &[CampaignCell],
     options: &CampaignOptions,
     progress: &(dyn Fn(Progress<'_>) + Sync),
+) -> CampaignReport {
+    run_campaign_custom(
+        cells,
+        options,
+        progress,
+        Arc::new(|_index, cell: &CampaignCell| super::run(&cell.profile, &cell.sut)),
+    )
+}
+
+/// [`run_campaign_with_progress`] with a caller-supplied per-cell
+/// runner — the extension point the fault-injection harness uses to
+/// simulate transformed traces under campaign isolation.
+pub fn run_campaign_custom(
+    cells: &[CampaignCell],
+    options: &CampaignOptions,
+    progress: &(dyn Fn(Progress<'_>) + Sync),
+    runner: CellRunner,
 ) -> CampaignReport {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -212,7 +399,7 @@ pub fn run_campaign_with_progress(
     let start = Instant::now();
     let results = ordered_parallel_map(cells, threads, |index, cell| {
         let cell_start = Instant::now();
-        let stats = super::run(&cell.profile, &cell.sut);
+        let (outcome, attempts) = run_cell_guarded(&runner, index, cell, options);
         let wall = cell_start.elapsed();
         progress(Progress {
             index,
@@ -223,14 +410,79 @@ pub fn run_campaign_with_progress(
         });
         CellResult {
             cell: *cell,
-            stats,
+            outcome,
             wall,
+            attempts,
         }
     });
     CampaignReport {
         results,
         wall: start.elapsed(),
         threads,
+        annotations: Vec::new(),
+    }
+}
+
+/// One cell under the full protection stack: `catch_unwind` per
+/// attempt, optional wall-clock timeout, bounded retry with linear
+/// backoff. Returns the final outcome and attempts consumed.
+fn run_cell_guarded(
+    runner: &CellRunner,
+    index: usize,
+    cell: &CampaignCell,
+    options: &CampaignOptions,
+) -> (CellOutcome, u32) {
+    let max_attempts = options.retries.saturating_add(1);
+    let mut last_error = String::new();
+    for attempt in 1..=max_attempts {
+        let result = match options.cell_timeout {
+            None => catch_unwind(AssertUnwindSafe(|| runner(index, cell)))
+                .map_err(|payload| panic_message(payload.as_ref())),
+            Some(limit) => run_attempt_with_timeout(runner, index, cell, limit),
+        };
+        match result {
+            Ok(stats) => return (CellOutcome::Completed(stats), attempt),
+            Err(error) => {
+                last_error = error;
+                if attempt < max_attempts && !options.retry_backoff.is_zero() {
+                    std::thread::sleep(options.retry_backoff * attempt);
+                }
+            }
+        }
+    }
+    (CellOutcome::Failed { error: last_error }, max_attempts)
+}
+
+/// One attempt on a watchdog thread. Rust threads cannot be cancelled,
+/// so on timeout the attempt thread is abandoned: it keeps simulating
+/// in the background and its eventual result is dropped with the
+/// disconnected channel. Acceptable for a campaign (the process exits
+/// when the campaign does); documented in DESIGN.md.
+fn run_attempt_with_timeout(
+    runner: &CellRunner,
+    index: usize,
+    cell: &CampaignCell,
+    limit: Duration,
+) -> Result<RunStats, String> {
+    let (tx, rx) = mpsc::channel();
+    let runner = Arc::clone(runner);
+    let cell = *cell;
+    std::thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(|| runner(index, &cell)))
+            .map_err(|payload| panic_message(payload.as_ref()));
+        // The receiver may have timed out and gone away; ignore.
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(limit) {
+        Ok(result) => result,
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(format!(
+            "cell {} timed out after {:.3}s",
+            cell.label(),
+            limit.as_secs_f64()
+        )),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            Err(format!("cell {} worker vanished", cell.label()))
+        }
     }
 }
 
@@ -273,22 +525,108 @@ mod tests {
         assert_eq!(report.results.len(), 10);
         for (cell, result) in cells.iter().zip(&report.results) {
             assert_eq!(cell.label(), result.cell.label());
-            assert!(result.stats.cycles > 0);
+            assert_eq!(result.status(), "completed");
+            assert_eq!(result.attempts, 1);
+            assert!(result.stats().unwrap().cycles > 0);
         }
+        assert_eq!(report.completed(), 10);
+        assert_eq!(report.degraded() + report.failed(), 0);
     }
 
     #[test]
     fn report_json_is_well_formed() {
         let cells = small_cells()[..3].to_vec();
-        let report = run_campaign(&cells, &CampaignOptions::with_threads(2));
+        let mut report = run_campaign(&cells, &CampaignOptions::with_threads(2));
+        report.annotate("note", "{\"tag\": \"smoke\"}");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"aos-campaign-report/v1\""));
+        assert!(json.contains("\"schema\": \"aos-campaign-report/v2\""));
         assert!(json.contains("\"cells\": 3"));
+        assert!(json.contains("\"completed\": 3"));
+        assert!(json.contains("\"failed\": 0"));
         assert!(json.contains("\"workload\": \"mcf\""));
+        assert!(json.contains("\"note\": {\"tag\": \"smoke\"}"));
         assert_eq!(json.matches("sim_cycles_per_sec").count(), 3);
+        assert_eq!(json.matches("\"status\": \"completed\"").count(), 3);
         // Balanced braces/brackets: cheap structural sanity without a
         // JSON parser in the dependency set.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn poisoned_cell_fails_without_sinking_the_campaign() {
+        let cells = small_cells()[..4].to_vec();
+        let report = run_campaign_custom(
+            &cells,
+            &CampaignOptions::with_threads(2),
+            &|_| {},
+            Arc::new(|index, cell: &CampaignCell| {
+                if index == 1 {
+                    panic!("deliberately poisoned cell");
+                }
+                crate::experiment::run(&cell.profile, &cell.sut)
+            }),
+        );
+        assert_eq!(report.results.len(), 4);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.completed(), 3);
+        let poisoned = &report.results[1];
+        assert_eq!(poisoned.status(), "failed");
+        assert!(poisoned.error().unwrap().contains("deliberately poisoned"));
+        let json = report.to_json();
+        assert!(json.contains("\"status\": \"failed\""));
+        assert!(json.contains("deliberately poisoned cell"));
+    }
+
+    #[test]
+    fn flaky_cell_recovers_via_retry_and_is_marked_degraded() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cells = small_cells()[..1].to_vec();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls_in_runner = Arc::clone(&calls);
+        let options = CampaignOptions::with_threads(1).retry(2, Duration::from_millis(0));
+        let report = run_campaign_custom(
+            &cells,
+            &options,
+            &|_| {},
+            Arc::new(move |_, cell: &CampaignCell| {
+                if calls_in_runner.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient fault");
+                }
+                crate::experiment::run(&cell.profile, &cell.sut)
+            }),
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        let cell = &report.results[0];
+        assert_eq!(cell.status(), "degraded");
+        assert_eq!(cell.attempts, 2);
+        assert!(cell.stats().unwrap().cycles > 0);
+        assert_eq!(report.degraded(), 1);
+    }
+
+    #[test]
+    fn hung_cell_times_out_and_is_reported_failed() {
+        let cells = small_cells()[..1].to_vec();
+        let options = CampaignOptions::with_threads(1).timeout(Duration::from_millis(50));
+        let report = run_campaign_custom(
+            &cells,
+            &options,
+            &|_| {},
+            Arc::new(|_, _: &CampaignCell| {
+                std::thread::sleep(Duration::from_secs(60));
+                unreachable!("the watchdog must have given up on us")
+            }),
+        );
+        let cell = &report.results[0];
+        assert!(cell.is_failed());
+        assert!(cell.error().unwrap().contains("timed out after"));
+    }
+
+    #[test]
+    fn json_escape_neutralizes_panic_payloads() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("say \"hi\"\n"), "say \\\"hi\\\"\\n");
+        assert_eq!(json_escape("back\\slash\t"), "back\\\\slash\\t");
+        assert_eq!(json_escape("bell\u{7}"), "bell\\u0007");
     }
 }

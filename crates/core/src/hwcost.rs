@@ -142,6 +142,9 @@ mod tests {
         let l1d = t[3].cost;
         assert!(t[0].cost.area_mm2 < 0.05 * l1d.area_mm2, "MCQ is tiny");
         assert!(t[1].cost.leakage_mw < 0.02 * l1d.leakage_mw, "BWB is tiny");
-        assert!(t[2].cost.area_mm2 < l1d.area_mm2, "L1-B under half the L1-D");
+        assert!(
+            t[2].cost.area_mm2 < l1d.area_mm2,
+            "L1-B under half the L1-D"
+        );
     }
 }

@@ -57,8 +57,8 @@ pub use process::{AosProcess, MemorySafetyError, ProcessConfig};
 
 // Re-export the substrate crates so downstream users need a single
 // dependency.
-pub use aos_heap as heap;
 pub use aos_hbt as hbt;
+pub use aos_heap as heap;
 pub use aos_isa as isa;
 pub use aos_mcu as mcu;
 pub use aos_ptrauth as ptrauth;

@@ -30,6 +30,9 @@ pub struct OsStats {
     pub check_failures: u64,
     /// Bounds-clear failures (double/invalid frees) seen.
     pub clear_failures: u64,
+    /// `bndstr` ops dropped because their bounds were malformed or the
+    /// table could not grow any further.
+    pub dropped_stores: u64,
 }
 
 /// The decision an [`OsHandler`] returns to the machine.
@@ -106,12 +109,33 @@ impl OsHandler {
     ) -> OsDecision {
         match exception {
             AosException::BoundsStoreFailure { .. } => {
-                hbt.begin_resize();
+                if hbt.try_begin_resize().is_err() {
+                    // Table at max associativity: the store can never
+                    // be placed. Drop it and deliver instead of
+                    // panicking the whole machine.
+                    self.stats.dropped_stores += 1;
+                    if let Some(id) = mcq_id {
+                        mcu.drop_failed(id);
+                    }
+                    return OsDecision::Deliver {
+                        fatal: self.policy == ExceptionPolicy::Terminate,
+                    };
+                }
                 self.stats.resizes += 1;
                 if let Some(id) = mcq_id {
                     mcu.retry(id);
                 }
                 OsDecision::Retry
+            }
+            AosException::MalformedBounds { .. } => {
+                // A tampered or malformed trace: retrying cannot help.
+                self.stats.dropped_stores += 1;
+                if let Some(id) = mcq_id {
+                    mcu.drop_failed(id);
+                }
+                OsDecision::Deliver {
+                    fatal: self.policy == ExceptionPolicy::Terminate,
+                }
             }
             AosException::BoundsCheckFailure { .. } => {
                 self.stats.check_failures += 1;

@@ -2,8 +2,8 @@
 
 use std::collections::VecDeque;
 
-use aos_heap::{HeapAllocator, HeapConfig, HeapError};
 use aos_hbt::{HashedBoundsTable, HbtConfig};
+use aos_heap::{HeapAllocator, HeapConfig, HeapError};
 use aos_mcu::{AosException, McuConfig, McuOp, MemoryCheckUnit};
 use aos_ptrauth::{PointerLayout, PointerSigner};
 use aos_qarma::PacKey;
@@ -126,17 +126,33 @@ impl AosProcess {
     }
 
     /// Creates a process with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; configurations assembled
+    /// from untrusted input go through
+    /// [`AosProcess::try_with_config`].
     pub fn with_config(config: ProcessConfig) -> Self {
-        Self {
+        Self::try_with_config(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`AosProcess::with_config`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aos_util::AosError::InvalidInput`] when the heap
+    /// configuration is rejected (e.g. a misaligned base address).
+    pub fn try_with_config(config: ProcessConfig) -> Result<Self, aos_util::AosError> {
+        Ok(Self {
             signer: PointerSigner::new(config.key, config.layout),
-            heap: HeapAllocator::new(config.heap),
+            heap: HeapAllocator::try_new(config.heap)?,
             hbt: HashedBoundsTable::new(config.hbt),
             mcu: MemoryCheckUnit::new(config.mcu, config.layout),
             memory: SparseMemory::new(),
             freed_regions: VecDeque::new(),
             resizes: 0,
             config,
-        }
+        })
     }
 
     /// The pointer layout in use.
@@ -177,11 +193,7 @@ impl AosProcess {
     /// Split borrow for the extension methods in [`crate::ext`].
     pub(crate) fn mcu_hbt_signer(
         &mut self,
-    ) -> (
-        &mut MemoryCheckUnit,
-        &mut HashedBoundsTable,
-        &PointerSigner,
-    ) {
+    ) -> (&mut MemoryCheckUnit, &mut HashedBoundsTable, &PointerSigner) {
         (&mut self.mcu, &mut self.hbt, &self.signer)
     }
 
@@ -199,7 +211,11 @@ impl AosProcess {
     ///
     /// # Errors
     ///
-    /// Returns [`HeapError`] if the allocator fails.
+    /// Returns [`HeapError`] if the allocator fails, or
+    /// [`HeapError::BoundsMetadata`] — with the chunk rolled back — if
+    /// the bounds cannot be stored: the table is already at max
+    /// associativity, or the usable size exceeds the 32-bit field of
+    /// the Fig. 9 encoding.
     pub fn malloc(&mut self, size: u64) -> Result<u64, HeapError> {
         let alloc = self.heap.malloc(size)?;
         let ptr = self
@@ -215,9 +231,26 @@ impl AosProcess {
             ) {
                 Ok(_) => break,
                 Err(AosException::BoundsStoreFailure { .. }) => {
-                    // OS handler: grow the table and retry (§IV-D).
-                    self.hbt.begin_resize();
-                    self.resizes += 1;
+                    // OS handler: grow the table and retry (§IV-D). A
+                    // table already at max associativity cannot grow;
+                    // the allocation is rolled back and refused.
+                    if self.hbt.try_begin_resize().is_ok() {
+                        self.resizes += 1;
+                    } else {
+                        let _ = self.heap.free(alloc.base);
+                        return Err(HeapError::BoundsMetadata {
+                            requested: size,
+                            reason: "bounds table at max associativity",
+                        });
+                    }
+                }
+                Err(AosException::MalformedBounds { .. }) => {
+                    // Usable size too wide for the 32-bit bounds field.
+                    let _ = self.heap.free(alloc.base);
+                    return Err(HeapError::BoundsMetadata {
+                        requested: size,
+                        reason: "size exceeds the 32-bit bounds encoding",
+                    });
                 }
                 Err(other) => unreachable!("bndstr cannot raise {other}"),
             }
@@ -263,13 +296,25 @@ impl AosProcess {
         // Only heap chunks can be reallocated; region-protected or
         // crafted pointers are rejected before any bounds are touched.
         let old_addr = self.signer.xpacm(ptr);
-        let Some(old_usable) = self.heap.chunk_at(old_addr).map(aos_heap::Chunk::usable_size)
+        let Some(old_usable) = self
+            .heap
+            .chunk_at(old_addr)
+            .map(aos_heap::Chunk::usable_size)
         else {
             return Err(MemorySafetyError::InvalidFree { pointer: ptr });
         };
+        // Sizes the 32-bit bounds field cannot represent are refused
+        // before any state changes (the 15-byte slack covers granule
+        // rounding).
+        if new_size > u64::from(u32::MAX) - 15 {
+            return Err(MemorySafetyError::InvalidFree { pointer: ptr });
+        }
         // bndclr next, exactly like free (Fig. 7b): a pointer without
         // bounds cannot be reallocated.
-        match self.mcu.run_sync(McuOp::BndClr { pointer: ptr }, &mut self.hbt) {
+        match self
+            .mcu
+            .run_sync(McuOp::BndClr { pointer: ptr }, &mut self.hbt)
+        {
             Ok(_) => {}
             Err(AosException::BoundsClearFailure { .. }) => {
                 return Err(MemorySafetyError::InvalidFree { pointer: ptr });
@@ -280,7 +325,7 @@ impl AosProcess {
             Ok(a) => a,
             Err(_) => {
                 // Restore the cleared bounds and report failure.
-                self.store_bounds(ptr, old_usable);
+                self.store_bounds(ptr, old_usable)?;
                 return Err(MemorySafetyError::InvalidFree { pointer: ptr });
             }
         };
@@ -298,24 +343,35 @@ impl AosProcess {
         let new_ptr = self
             .signer
             .pacma(alloc.base, self.config.context, alloc.usable_size);
-        self.store_bounds(new_ptr, alloc.usable_size);
+        self.store_bounds(new_ptr, alloc.usable_size)?;
         Ok(new_ptr)
     }
 
     /// bndstr with the OS resize-on-overflow loop.
-    fn store_bounds(&mut self, ptr: u64, size: u64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemorySafetyError::InvalidFree`] (the pointer ends up
+    /// boundless, i.e. locked) when the table cannot grow past its max
+    /// associativity or the bounds cannot be encoded — both only
+    /// reachable from pathological configurations, neither worth a
+    /// panic.
+    fn store_bounds(&mut self, ptr: u64, size: u64) -> Result<(), MemorySafetyError> {
         loop {
-            match self.mcu.run_sync(
-                McuOp::BndStr {
-                    pointer: ptr,
-                    size,
-                },
-                &mut self.hbt,
-            ) {
-                Ok(_) => return,
+            match self
+                .mcu
+                .run_sync(McuOp::BndStr { pointer: ptr, size }, &mut self.hbt)
+            {
+                Ok(_) => return Ok(()),
                 Err(AosException::BoundsStoreFailure { .. }) => {
-                    self.hbt.begin_resize();
-                    self.resizes += 1;
+                    if self.hbt.try_begin_resize().is_ok() {
+                        self.resizes += 1;
+                    } else {
+                        return Err(MemorySafetyError::InvalidFree { pointer: ptr });
+                    }
+                }
+                Err(AosException::MalformedBounds { .. }) => {
+                    return Err(MemorySafetyError::InvalidFree { pointer: ptr });
                 }
                 Err(other) => unreachable!("bndstr cannot raise {other}"),
             }
@@ -331,7 +387,10 @@ impl AosProcess {
     /// Returns [`MemorySafetyError::InvalidFree`] when no bounds match
     /// — a double free, an unsigned pointer, or a crafted chunk.
     pub fn free(&mut self, ptr: u64) -> Result<(), MemorySafetyError> {
-        match self.mcu.run_sync(McuOp::BndClr { pointer: ptr }, &mut self.hbt) {
+        match self
+            .mcu
+            .run_sync(McuOp::BndClr { pointer: ptr }, &mut self.hbt)
+        {
             Ok(_) => {}
             Err(AosException::BoundsClearFailure { .. }) => {
                 return Err(MemorySafetyError::InvalidFree { pointer: ptr });
@@ -400,7 +459,8 @@ impl AosProcess {
     /// Fails like [`AosProcess::load`]; memory is untouched on failure.
     pub fn store(&mut self, ptr: u64, value: u64) -> Result<(), MemorySafetyError> {
         self.check(ptr, true)?;
-        self.memory.write_u64(self.config.layout.address(ptr), value);
+        self.memory
+            .write_u64(self.config.layout.address(ptr), value);
         Ok(())
     }
 
@@ -413,7 +473,8 @@ impl AosProcess {
 
     /// An *unchecked* store (baseline behaviour).
     pub fn store_unchecked(&mut self, ptr: u64, value: u64) {
-        self.memory.write_u64(self.config.layout.address(ptr), value);
+        self.memory
+            .write_u64(self.config.layout.address(ptr), value);
     }
 
     /// `autm` on-load authentication (Fig. 13): verifies the pointer
@@ -467,7 +528,10 @@ mod tests {
         let mut p = AosProcess::new();
         let ptr = p.malloc(64).unwrap();
         let err = p.store(ptr + 64, 0x41414141).unwrap_err();
-        assert!(matches!(err, MemorySafetyError::OutOfBounds { is_store: true, .. }));
+        assert!(matches!(
+            err,
+            MemorySafetyError::OutOfBounds { is_store: true, .. }
+        ));
         // Precise exception: the poisoned value never landed.
         let addr = p.layout().address(ptr) + 64;
         assert_eq!(p.memory_mut().read_u64(addr), 0);
@@ -480,7 +544,10 @@ mod tests {
         p.store(ptr, 7).unwrap();
         p.free(ptr).unwrap();
         let err = p.load(ptr).unwrap_err();
-        assert!(matches!(err, MemorySafetyError::UseAfterFree { .. }), "{err}");
+        assert!(
+            matches!(err, MemorySafetyError::UseAfterFree { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -546,7 +613,11 @@ mod tests {
             p.store(a + i * 8, 0x100 + i).unwrap();
         }
         let b = p.realloc(a, 4096).unwrap();
-        assert_ne!(p.layout().address(b), p.layout().address(a), "grew by moving");
+        assert_ne!(
+            p.layout().address(b),
+            p.layout().address(a),
+            "grew by moving"
+        );
         for i in 0..8 {
             assert_eq!(p.load(b + i * 8).unwrap(), 0x100 + i, "data copied");
         }
@@ -617,6 +688,78 @@ mod tests {
         for &ptr in ptrs.iter().step_by(997) {
             assert!(p.load(ptr).is_ok());
         }
+    }
+
+    #[test]
+    fn hbt_exhaustion_rolls_malloc_back_instead_of_panicking() {
+        // A deliberately tiny table: 2^11 rows but max 1 way, so ~8
+        // same-row chunks fill a row for good.
+        let config = ProcessConfig {
+            layout: PointerLayout::new(46, 11),
+            hbt: HbtConfig {
+                pac_size: 11,
+                initial_ways: 1,
+                max_ways: 1,
+                base_addr: 0x3800_0000_0000,
+                compressed: true,
+            },
+            ..ProcessConfig::default()
+        };
+        let mut p = AosProcess::with_config(config);
+        let mut ok = 0u64;
+        let err = loop {
+            match p.malloc(32) {
+                Ok(_) => ok += 1,
+                Err(e) => break e,
+            }
+            assert!(ok < 100_000, "exhaustion never surfaced");
+        };
+        assert!(
+            matches!(err, HeapError::BoundsMetadata { .. }),
+            "expected metadata exhaustion, got {err}"
+        );
+        // The rolled-back chunk is reusable once a slot frees up: the
+        // heap itself stayed consistent.
+        let live = p.heap().profile().live;
+        assert_eq!(live, ok, "failed malloc left no live chunk behind");
+    }
+
+    #[test]
+    fn oversized_malloc_is_refused_not_panicked() {
+        let mut p = AosProcess::new();
+        // Usable size would exceed the 32-bit bounds field (Fig. 9).
+        let err = p.malloc((1 << 33) + 8).unwrap_err();
+        assert!(matches!(err, HeapError::BoundsMetadata { .. }), "got {err}");
+        assert_eq!(p.heap().profile().live, 0);
+        // The process remains fully usable afterwards.
+        let ptr = p.malloc(64).unwrap();
+        assert!(p.load(ptr).is_ok());
+    }
+
+    #[test]
+    fn oversized_realloc_is_refused_and_harmless() {
+        let mut p = AosProcess::new();
+        let a = p.malloc(64).unwrap();
+        p.store(a, 42).unwrap();
+        assert!(matches!(
+            p.realloc(a, 1 << 33),
+            Err(MemorySafetyError::InvalidFree { .. })
+        ));
+        // Original allocation untouched, bounds intact.
+        assert_eq!(p.load(a).unwrap(), 42);
+    }
+
+    #[test]
+    fn try_with_config_rejects_bad_heap_base() {
+        let config = ProcessConfig {
+            heap: aos_heap::HeapConfig {
+                base_addr: 0x4000_0001,
+                ..aos_heap::HeapConfig::default()
+            },
+            ..ProcessConfig::default()
+        };
+        let err = AosProcess::try_with_config(config).unwrap_err();
+        assert!(err.to_string().contains("16-byte aligned"), "{err}");
     }
 
     #[test]

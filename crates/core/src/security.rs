@@ -30,9 +30,14 @@ impl ScenarioOutcome {
 /// that leaks a neighbouring chunk's secret.
 pub fn oob_read() -> ScenarioOutcome {
     let mut p = AosProcess::new();
-    let victim = p.malloc(64).unwrap();
-    let secret_holder = p.malloc(64).unwrap();
-    p.store(secret_holder, 0x5EC2E7).unwrap();
+    let victim = p
+        .malloc(64)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
+    let secret_holder = p
+        .malloc(64)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
+    p.store(secret_holder, 0x5EC2E7)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
 
     // Baseline: reading past `victim` reaches the neighbour's data
     // (16-byte header gap, then the secret).
@@ -52,13 +57,20 @@ pub fn oob_read() -> ScenarioOutcome {
 /// chunk.
 pub fn oob_write() -> ScenarioOutcome {
     let mut p = AosProcess::new();
-    let attacker = p.malloc(64).unwrap();
-    let target = p.malloc(64).unwrap();
-    p.store(target, 0x600D).unwrap();
+    let attacker = p
+        .malloc(64)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
+    let target = p
+        .malloc(64)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
+    p.store(target, 0x600D)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
 
     let delta = p.layout().address(target) - p.layout().address(attacker);
     p.store_unchecked(attacker + delta, 0xBAD);
-    let corrupted = p.load(target).unwrap();
+    let corrupted = p
+        .load(target)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
 
     let detected = p.store(attacker + 64, 0xBAD).err();
     ScenarioOutcome {
@@ -73,9 +85,14 @@ pub fn oob_write() -> ScenarioOutcome {
 /// checking catches.
 pub fn non_adjacent_oob() -> ScenarioOutcome {
     let mut p = AosProcess::new();
-    let a = p.malloc(64).unwrap();
-    let far_victim = p.malloc(64).unwrap();
-    p.store(far_victim, 0x1337).unwrap();
+    let a = p
+        .malloc(64)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
+    let far_victim = p
+        .malloc(64)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
+    p.store(far_victim, 0x1337)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
 
     // Jump 1 MiB past the allocation: over any plausible redzone.
     let detected = p.load(a + (1 << 20)).err();
@@ -89,9 +106,13 @@ pub fn non_adjacent_oob() -> ScenarioOutcome {
 /// Use-after-free / dangling pointer (Fig. 12 line 14).
 pub fn use_after_free() -> ScenarioOutcome {
     let mut p = AosProcess::new();
-    let ptr = p.malloc(128).unwrap();
-    p.store(ptr, 0xA11CE).unwrap();
-    p.free(ptr).unwrap();
+    let ptr = p
+        .malloc(128)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
+    p.store(ptr, 0xA11CE)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
+    p.free(ptr)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
 
     let stale = p.load_unchecked(ptr);
     let detected = p.load(ptr).err();
@@ -105,8 +126,11 @@ pub fn use_after_free() -> ScenarioOutcome {
 /// Double free (Fig. 12 lines 16–19).
 pub fn double_free() -> ScenarioOutcome {
     let mut p = AosProcess::new();
-    let ptr = p.malloc(64).unwrap();
-    p.free(ptr).unwrap();
+    let ptr = p
+        .malloc(64)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
+    p.free(ptr)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
     let detected = p.free(ptr).err();
     ScenarioOutcome {
         name: "double free",
@@ -123,8 +147,12 @@ pub fn house_of_spirit() -> ScenarioOutcome {
     // against the raw allocator.
     let mut baseline_heap = aos_heap::HeapAllocator::new(aos_heap::HeapConfig::default());
     let crafted = 0x7000_0000u64;
-    baseline_heap.fastbin_insert_raw(crafted, 48).unwrap();
-    let victim = baseline_heap.malloc(48).unwrap();
+    baseline_heap
+        .fastbin_insert_raw(crafted, 48)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
+    let victim = baseline_heap
+        .malloc(48)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
     let baseline_effect = format!(
         "malloc returned attacker-controlled address {:#x}",
         victim.base
@@ -133,7 +161,9 @@ pub fn house_of_spirit() -> ScenarioOutcome {
     // AOS half: free() of the crafted pointer dies in bndclr, because
     // the crafted address was never signed and has no bounds.
     let mut p = AosProcess::new();
-    let _real = p.malloc(48).unwrap();
+    let _real = p
+        .malloc(48)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
     let detected = p.free(crafted).err();
     ScenarioOutcome {
         name: "House of Spirit (crafted free)",
@@ -150,10 +180,15 @@ pub fn pac_forging(attempts: u64) -> (u64, ScenarioOutcome) {
     let mut p = AosProcess::new();
     // A modest set of live objects for the attacker to hope to hit.
     for _ in 0..64 {
-        let q = p.malloc(4096).unwrap();
-        p.store(q, 1).unwrap();
+        let q = p
+            .malloc(4096)
+            .expect("staged scenario: a legal operation on a fresh process cannot fail");
+        p.store(q, 1)
+            .expect("staged scenario: a legal operation on a fresh process cannot fail");
     }
-    let target = p.malloc(64).unwrap();
+    let target = p
+        .malloc(64)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
     let addr = p.layout().address(target);
     let layout = p.layout();
     let mut successes = 0;
@@ -182,11 +217,16 @@ pub fn pac_forging(attempts: u64) -> (u64, ScenarioOutcome) {
 /// paired with pointer integrity (Fig. 13).
 pub fn ahc_forging() -> ScenarioOutcome {
     let mut p = AosProcess::new();
-    let ptr = p.malloc(64).unwrap();
+    let ptr = p
+        .malloc(64)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
     // The attacker clears the metadata bits so the access looks
     // unsigned and skips bounds checking...
     let stripped = p.signer().xpacm(ptr);
-    assert!(p.load(stripped).is_ok(), "bounds checking alone is bypassed");
+    assert!(
+        p.load(stripped).is_ok(),
+        "bounds checking alone is bypassed"
+    );
     // ...but on-load authentication rejects the unsigned data pointer.
     let detected = p.authenticate(stripped).err();
     ScenarioOutcome {
@@ -243,9 +283,12 @@ pub fn rop_hijack() -> ScenarioOutcome {
 pub fn intra_object_overflow() -> ScenarioOutcome {
     let mut p = AosProcess::new();
     // struct { char buf[16]; u64 is_admin; }
-    let obj = p.malloc(24).unwrap();
-    p.store(obj + 16, 0).unwrap(); // is_admin = false
-    // Overflow buf by one element: stays inside the chunk.
+    let obj = p
+        .malloc(24)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail");
+    p.store(obj + 16, 0)
+        .expect("staged scenario: a legal operation on a fresh process cannot fail"); // is_admin = false
+                                                                                      // Overflow buf by one element: stays inside the chunk.
     let detected = p.store(obj + 16, 1).err();
     ScenarioOutcome {
         name: "intra-object overflow (documented limitation)",
@@ -279,7 +322,10 @@ mod tests {
     fn spatial_attacks_detected() {
         assert!(matches!(
             oob_read().detected,
-            Some(MemorySafetyError::OutOfBounds { is_store: false, .. })
+            Some(MemorySafetyError::OutOfBounds {
+                is_store: false,
+                ..
+            })
         ));
         assert!(matches!(
             oob_write().detected,
@@ -303,8 +349,15 @@ mod tests {
     #[test]
     fn house_of_spirit_blocked_by_bndclr() {
         let o = house_of_spirit();
-        assert!(o.baseline_effect.contains("0x70000000"), "{}", o.baseline_effect);
-        assert!(matches!(o.detected, Some(MemorySafetyError::InvalidFree { .. })));
+        assert!(
+            o.baseline_effect.contains("0x70000000"),
+            "{}",
+            o.baseline_effect
+        );
+        assert!(matches!(
+            o.detected,
+            Some(MemorySafetyError::InvalidFree { .. })
+        ));
     }
 
     #[test]
@@ -333,7 +386,11 @@ mod tests {
     #[test]
     fn rop_hijack_caught_by_return_address_signing() {
         let o = rop_hijack();
-        assert!(o.baseline_effect.contains("0x409999"), "{}", o.baseline_effect);
+        assert!(
+            o.baseline_effect.contains("0x409999"),
+            "{}",
+            o.baseline_effect
+        );
         assert!(matches!(
             o.detected,
             Some(MemorySafetyError::AuthenticationFailure { .. })
@@ -348,7 +405,10 @@ mod tests {
         let layout = p.layout();
         let (sp, ra) = (0x3F00_0000_2000u64, 0x0040_5678u64);
         let signed = layout.compose(ra, p.signer().pac_for(ra, sp), 0);
-        assert_eq!(layout.pac(signed), p.signer().pac_for(layout.address(signed), sp));
+        assert_eq!(
+            layout.pac(signed),
+            p.signer().pac_for(layout.address(signed), sp)
+        );
     }
 
     #[test]

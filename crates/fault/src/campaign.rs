@@ -1,0 +1,182 @@
+//! The fault-injection campaign: a `kind × seed × system` grid run
+//! through the hardened campaign runner, so each trial inherits the
+//! runner's panic isolation, timeout and retry machinery, and the
+//! detection summary rides the `aos-campaign-report/v2` document as a
+//! `fault_detection` annotation.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use aos_core::experiment::campaign::{
+    run_campaign_custom, CampaignCell, CampaignOptions, CampaignReport,
+};
+use aos_core::experiment::SystemUnderTest;
+use aos_isa::SafetyConfig;
+use aos_ptrauth::PointerLayout;
+use aos_sim::Machine;
+use aos_util::AosError;
+use aos_workloads::{TraceGenerator, WorkloadProfile};
+
+use crate::inject::{inject, FaultKind, FaultSpec};
+use crate::oracle::{FaultTrial, TrialMatrix};
+
+/// What to sweep.
+#[derive(Debug, Clone)]
+pub struct FaultCampaignConfig {
+    /// The workload whose traces are faulted.
+    pub profile: WorkloadProfile,
+    /// Window scale for the generated traces.
+    pub scale: f64,
+    /// Fault classes to inject.
+    pub kinds: Vec<FaultKind>,
+    /// Seeds per fault class.
+    pub seeds: Vec<u64>,
+    /// Systems to replay each faulted trace on. Defaults pair the
+    /// protected AOS machine with the unprotected Baseline.
+    pub systems: Vec<SafetyConfig>,
+    /// Runner execution knobs (threads, timeout, retries).
+    pub options: CampaignOptions,
+}
+
+impl FaultCampaignConfig {
+    /// The standard sweep for one workload: every fault class, the
+    /// given seeds, AOS vs Baseline.
+    pub fn standard(profile: WorkloadProfile, scale: f64, seeds: Vec<u64>) -> Self {
+        Self {
+            profile,
+            scale,
+            kinds: FaultKind::ALL.to_vec(),
+            seeds,
+            systems: vec![SafetyConfig::Aos, SafetyConfig::Baseline],
+            options: CampaignOptions::default(),
+        }
+    }
+}
+
+/// The campaign's product: the annotated v2 report plus the oracle
+/// matrix it summarizes.
+#[derive(Debug, Clone)]
+pub struct FaultCampaignOutcome {
+    /// The v2 campaign report, annotated with `fault_detection`.
+    pub report: CampaignReport,
+    /// Every trial's verdict.
+    pub matrix: TrialMatrix,
+}
+
+/// Runs the grid. Each cell generates the AOS-instrumented trace,
+/// injects its `(kind, seed)` fault, and replays it on its system's
+/// machine; the clean trace is replayed once per system up front for
+/// the false-positive reference.
+pub fn run_fault_campaign(config: &FaultCampaignConfig) -> Result<FaultCampaignOutcome, AosError> {
+    if config.kinds.is_empty() || config.seeds.is_empty() || config.systems.is_empty() {
+        return Err(AosError::invalid_input(
+            "fault campaign",
+            "kinds, seeds and systems must all be non-empty",
+        ));
+    }
+    let layout = PointerLayout::default();
+    let trace: Vec<_> =
+        TraceGenerator::new(&config.profile, SafetyConfig::Aos, config.scale).collect();
+
+    // Clean-reference violations per system (the false-positive gate).
+    let mut clean_violations = Vec::with_capacity(config.systems.len());
+    for &system in &config.systems {
+        let sut = SystemUnderTest::scaled(system, config.scale);
+        let stats = Machine::new(sut.machine_config()).run(trace.iter().copied());
+        clean_violations.push(stats.violations);
+    }
+
+    // One campaign cell per (kind, seed, system); the cell's label
+    // carries the workload/system pair, the side table the fault.
+    let mut cells = Vec::new();
+    let mut specs = Vec::new();
+    for &kind in &config.kinds {
+        for &seed in &config.seeds {
+            for (si, &system) in config.systems.iter().enumerate() {
+                cells.push(CampaignCell {
+                    profile: config.profile,
+                    sut: SystemUnderTest::scaled(system, config.scale),
+                });
+                specs.push((FaultSpec { kind, seed }, si));
+            }
+        }
+    }
+
+    // Each injection error is reported through the cell's Failed
+    // outcome (via panic + catch_unwind) instead of aborting the
+    // sweep; descriptions are collected for the oracle.
+    let descriptions: Arc<Mutex<Vec<Option<String>>>> =
+        Arc::new(Mutex::new(vec![None; cells.len()]));
+    let runner = {
+        let trace = Arc::new(trace);
+        let specs = specs.clone();
+        let descriptions = Arc::clone(&descriptions);
+        Arc::new(move |index: usize, cell: &CampaignCell| {
+            let (spec, _) = specs[index];
+            let injection = match inject(&trace, layout, spec) {
+                Ok(injection) => injection,
+                Err(e) => panic!("{e}"),
+            };
+            descriptions.lock().expect("description table poisoned")[index] =
+                Some(injection.description);
+            Machine::new(cell.sut.machine_config()).run(injection.ops)
+        })
+    };
+
+    let mut report = run_campaign_custom(&cells, &config.options, &|_| {}, runner);
+
+    let mut matrix = TrialMatrix::default();
+    let descriptions = descriptions.lock().expect("description table poisoned");
+    for (index, result) in report.results.iter().enumerate() {
+        let (spec, si) = specs[index];
+        if let Some(stats) = result.stats() {
+            matrix.push(FaultTrial {
+                spec,
+                system: config.systems[si],
+                clean_violations: clean_violations[si],
+                faulty_violations: stats.violations,
+                description: descriptions[index]
+                    .clone()
+                    .unwrap_or_else(|| "<no description recorded>".to_string()),
+            });
+        }
+    }
+    report.annotate("fault_detection", matrix.to_json_value());
+    Ok(FaultCampaignOutcome { report, matrix })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aos_workloads::profile::by_name;
+
+    #[test]
+    fn standard_sweep_is_sound_and_annotated() {
+        let config = FaultCampaignConfig {
+            options: CampaignOptions::with_threads(4),
+            ..FaultCampaignConfig::standard(*by_name("hmmer").unwrap(), 0.004, vec![1, 2])
+        };
+        let outcome = run_fault_campaign(&config).unwrap();
+        assert_eq!(outcome.report.results.len(), 6 * 2 * 2);
+        assert_eq!(outcome.report.failed(), 0);
+        assert!(outcome.matrix.is_sound(), "{}", outcome.matrix.to_json_value());
+        // Baseline must miss every fault: that asymmetry is the claim.
+        assert!(outcome
+            .matrix
+            .unprotected()
+            .all(|t| t.verdict() == crate::oracle::Verdict::Missed));
+        let json = outcome.report.to_json();
+        assert!(json.contains("\"fault_detection\": {\"trials\": 24,"));
+        assert!(json.contains("\"schema\": \"aos-campaign-report/v2\""));
+    }
+
+    #[test]
+    fn empty_grid_is_a_typed_error() {
+        let mut config = FaultCampaignConfig::standard(*by_name("hmmer").unwrap(), 0.004, vec![]);
+        config.options = CampaignOptions::with_threads(1);
+        assert!(matches!(
+            run_fault_campaign(&config),
+            Err(AosError::InvalidInput { .. })
+        ));
+    }
+}

@@ -1,0 +1,431 @@
+//! Seeded trace transformers: each injector splices exactly one
+//! memory-safety fault into an instrumented op stream.
+//!
+//! Faults anchor on the instrumentation ops the AOS compiler pass
+//! emits (`bndstr` marks an allocation's bounds going live, `bndclr`
+//! marks a free), so the injected access provably targets a real heap
+//! object lifecycle rather than an arbitrary address. The anchor is
+//! chosen with a seeded generator, making every injection a pure
+//! function of `(trace, kind, seed)`.
+
+use aos_isa::Op;
+use aos_ptrauth::PointerLayout;
+use aos_util::rng::Xoshiro256StarStar;
+use aos_util::AosError;
+
+/// The memory-safety fault classes the harness can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Store one byte past an allocation's upper bound (spatial).
+    OverflowWrite,
+    /// Store below an allocation's lower bound (spatial).
+    UnderflowWrite,
+    /// Load through a pointer whose bounds were just cleared
+    /// (temporal).
+    UseAfterFree,
+    /// Clear the same bounds twice (temporal).
+    DoubleFree,
+    /// Flip a bit in a signed pointer's PAC field — a forged or
+    /// corrupted pointer authentication code.
+    PacTamper,
+    /// Stamp a nonzero AHC and arbitrary PAC onto an unsigned
+    /// (stack/global) access — forging AOS metadata from whole cloth.
+    AhcForge,
+}
+
+impl FaultKind {
+    /// Every fault class, in report order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::OverflowWrite,
+        FaultKind::UnderflowWrite,
+        FaultKind::UseAfterFree,
+        FaultKind::DoubleFree,
+        FaultKind::PacTamper,
+        FaultKind::AhcForge,
+    ];
+
+    /// The stable report/CLI name of the fault class.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::OverflowWrite => "overflow",
+            FaultKind::UnderflowWrite => "underflow",
+            FaultKind::UseAfterFree => "uaf",
+            FaultKind::DoubleFree => "double-free",
+            FaultKind::PacTamper => "pac-tamper",
+            FaultKind::AhcForge => "ahc-forge",
+        }
+    }
+
+    /// Parses a CLI/report name back into a kind.
+    pub fn parse(name: &str) -> Result<Self, AosError> {
+        FaultKind::ALL
+            .into_iter()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| {
+                AosError::invalid_input(
+                    "fault kind",
+                    format!(
+                        "unknown kind '{name}' (expected one of: {})",
+                        FaultKind::ALL.map(|k| k.name()).join(", ")
+                    ),
+                )
+            })
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One fully specified fault: what to inject and the seed that picks
+/// where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// The fault class.
+    pub kind: FaultKind,
+    /// Seed selecting the anchor site (and tampered bits).
+    pub seed: u64,
+}
+
+/// A faulted trace plus where and what was spliced in.
+#[derive(Debug, Clone)]
+pub struct Injection {
+    /// The transformed op stream.
+    pub ops: Vec<Op>,
+    /// Index in `ops` of the first injected/modified op.
+    pub site: usize,
+    /// Human-readable description of the fault, for reports.
+    pub description: String,
+}
+
+/// Splices the fault described by `spec` into `trace`.
+///
+/// Errors with [`AosError::InvalidInput`] when the trace has no
+/// anchor for the requested kind (e.g. an uninstrumented trace with
+/// no `bndstr`), rather than panicking — a campaign must survive a
+/// mis-specified cell.
+pub fn inject(trace: &[Op], layout: PointerLayout, spec: FaultSpec) -> Result<Injection, AosError> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(spec.seed ^ fault_salt(spec.kind));
+    match spec.kind {
+        FaultKind::OverflowWrite => {
+            let (i, pointer, size) = pick_bndstr(trace, &mut rng, spec.kind)?;
+            splice_after(
+                trace,
+                i,
+                Op::Store {
+                    pointer: pointer.wrapping_add(size),
+                    bytes: 8,
+                },
+                format!("overflow store at base+{size} of the bndstr at op {i}"),
+            )
+        }
+        FaultKind::UnderflowWrite => {
+            let (i, pointer, _) = pick_bndstr(trace, &mut rng, spec.kind)?;
+            splice_after(
+                trace,
+                i,
+                Op::Store {
+                    pointer: pointer.wrapping_sub(8),
+                    bytes: 8,
+                },
+                format!("underflow store at base-8 of the bndstr at op {i}"),
+            )
+        }
+        FaultKind::UseAfterFree => {
+            // The dangling access must be far enough downstream that
+            // the free has architecturally committed (the machine's
+            // ROB is smaller than this window, so in-order retirement
+            // forces the bndclr's table clear before the load can
+            // issue), and the window must not contain a bndstr that
+            // re-signs the same PAC — that would be a legitimate
+            // reallocation, not a UAF.
+            let candidates: Vec<(usize, u64)> = trace
+                .iter()
+                .enumerate()
+                .filter_map(|(i, op)| match *op {
+                    Op::BndClr { pointer } => Some((i, pointer)),
+                    _ => None,
+                })
+                .filter(|&(i, pointer)| {
+                    let pac = layout.pac(pointer);
+                    let end = (i + 1 + UAF_DELAY_OPS).min(trace.len());
+                    !trace[i + 1..end].iter().any(|o| {
+                        matches!(o, Op::BndStr { pointer: q, .. } if layout.pac(*q) == pac)
+                    })
+                })
+                .collect();
+            if candidates.is_empty() {
+                return Err(AosError::invalid_input(
+                    "fault injection",
+                    "trace has no bndclr (free) without a same-PAC reallocation \
+                     inside the retirement window to anchor a uaf fault on",
+                ));
+            }
+            let (i, pointer) = candidates[rng.next_index(candidates.len())];
+            let at = (i + 1 + UAF_DELAY_OPS).min(trace.len());
+            splice_at(
+                trace,
+                at,
+                Op::Load {
+                    pointer,
+                    bytes: 8,
+                    chained: false,
+                },
+                format!("load through the pointer freed by the bndclr at op {i}"),
+            )
+        }
+        FaultKind::DoubleFree => {
+            let (i, pointer) = pick_bndclr(trace, &mut rng, spec.kind)?;
+            splice_after(
+                trace,
+                i,
+                Op::BndClr { pointer },
+                format!("second bndclr of the pointer freed at op {i}"),
+            )
+        }
+        FaultKind::PacTamper => {
+            let candidates: Vec<usize> = trace
+                .iter()
+                .enumerate()
+                .filter(|(_, op)| signed_access_pointer(op, layout).is_some())
+                .map(|(i, _)| i)
+                .collect();
+            let i = pick(&candidates, &mut rng, spec.kind, "signed heap access")?;
+            let bit = layout.pac_shift() + (rng.next_u64() % u64::from(layout.pac_size())) as u32;
+            let mut ops = trace.to_vec();
+            ops[i] = retarget(&ops[i], |p| p ^ (1u64 << bit));
+            Ok(Injection {
+                ops,
+                site: i,
+                description: format!("flipped PAC bit {bit} of the access at op {i}"),
+            })
+        }
+        FaultKind::AhcForge => {
+            let candidates: Vec<usize> = trace
+                .iter()
+                .enumerate()
+                .filter(|(_, op)| unsigned_access_pointer(op, layout).is_some())
+                .map(|(i, _)| i)
+                .collect();
+            let i = pick(&candidates, &mut rng, spec.kind, "unsigned access")?;
+            let forged_ahc = 1 + (rng.next_u64() % 3) as u8;
+            let forged_pac = rng.next_u64() % layout.pac_space();
+            let mut ops = trace.to_vec();
+            ops[i] = retarget(&ops[i], |p| {
+                layout.compose(layout.address(p), forged_pac, forged_ahc)
+            });
+            Ok(Injection {
+                ops,
+                site: i,
+                description: format!(
+                    "forged AHC={forged_ahc} PAC={forged_pac:#x} onto the access at op {i}"
+                ),
+            })
+        }
+    }
+}
+
+/// Ops between a `bndclr` and its injected dangling access — larger
+/// than any Table IV ROB, so the free retires (and clears the table)
+/// before the access can issue.
+const UAF_DELAY_OPS: usize = 256;
+
+/// Per-kind RNG stream salt, so the same seed picks independent sites
+/// for different kinds.
+fn fault_salt(kind: FaultKind) -> u64 {
+    match kind {
+        FaultKind::OverflowWrite => 0x4F56_464C,
+        FaultKind::UnderflowWrite => 0x554E_4446,
+        FaultKind::UseAfterFree => 0x5541_4652,
+        FaultKind::DoubleFree => 0x4446_5245,
+        FaultKind::PacTamper => 0x5041_4354,
+        FaultKind::AhcForge => 0x4148_4346,
+    }
+}
+
+fn pick(
+    candidates: &[usize],
+    rng: &mut Xoshiro256StarStar,
+    kind: FaultKind,
+    wanted: &str,
+) -> Result<usize, AosError> {
+    if candidates.is_empty() {
+        return Err(AosError::invalid_input(
+            "fault injection",
+            format!("trace has no {wanted} to anchor a {kind} fault on"),
+        ));
+    }
+    Ok(candidates[rng.next_index(candidates.len())])
+}
+
+fn pick_bndstr(
+    trace: &[Op],
+    rng: &mut Xoshiro256StarStar,
+    kind: FaultKind,
+) -> Result<(usize, u64, u64), AosError> {
+    let candidates: Vec<usize> = trace
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| matches!(op, Op::BndStr { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let i = pick(&candidates, rng, kind, "bndstr (allocation)")?;
+    match trace[i] {
+        Op::BndStr { pointer, size } => Ok((i, pointer, size)),
+        _ => unreachable!("candidate index must point at a bndstr"),
+    }
+}
+
+fn pick_bndclr(
+    trace: &[Op],
+    rng: &mut Xoshiro256StarStar,
+    kind: FaultKind,
+) -> Result<(usize, u64), AosError> {
+    let candidates: Vec<usize> = trace
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| matches!(op, Op::BndClr { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let i = pick(&candidates, rng, kind, "bndclr (free)")?;
+    match trace[i] {
+        Op::BndClr { pointer } => Ok((i, pointer)),
+        _ => unreachable!("candidate index must point at a bndclr"),
+    }
+}
+
+fn splice_after(
+    trace: &[Op],
+    anchor: usize,
+    op: Op,
+    description: String,
+) -> Result<Injection, AosError> {
+    splice_at(trace, anchor + 1, op, description)
+}
+
+fn splice_at(
+    trace: &[Op],
+    at: usize,
+    op: Op,
+    description: String,
+) -> Result<Injection, AosError> {
+    let mut ops = Vec::with_capacity(trace.len() + 1);
+    ops.extend_from_slice(&trace[..at]);
+    ops.push(op);
+    ops.extend_from_slice(&trace[at..]);
+    Ok(Injection { ops, site: at, description })
+}
+
+fn signed_access_pointer(op: &Op, layout: PointerLayout) -> Option<u64> {
+    match *op {
+        Op::Load { pointer, .. } | Op::Store { pointer, .. } if layout.is_signed(pointer) => {
+            Some(pointer)
+        }
+        _ => None,
+    }
+}
+
+fn unsigned_access_pointer(op: &Op, layout: PointerLayout) -> Option<u64> {
+    match *op {
+        Op::Load { pointer, .. } | Op::Store { pointer, .. } if !layout.is_signed(pointer) => {
+            Some(pointer)
+        }
+        _ => None,
+    }
+}
+
+/// Rewrites the pointer of a Load/Store in place, preserving every
+/// other field.
+fn retarget(op: &Op, f: impl Fn(u64) -> u64) -> Op {
+    match *op {
+        Op::Load {
+            pointer,
+            bytes,
+            chained,
+        } => Op::Load {
+            pointer: f(pointer),
+            bytes,
+            chained,
+        },
+        Op::Store { pointer, bytes } => Op::Store {
+            pointer: f(pointer),
+            bytes,
+        },
+        _ => unreachable!("retarget only applies to data accesses"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aos_isa::SafetyConfig;
+    use aos_workloads::{profile::by_name, TraceGenerator};
+
+    fn aos_trace() -> Vec<Op> {
+        let p = by_name("hmmer").unwrap();
+        TraceGenerator::new(p, SafetyConfig::Aos, 0.004).collect()
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let trace = aos_trace();
+        let layout = PointerLayout::default();
+        for kind in FaultKind::ALL {
+            let spec = FaultSpec { kind, seed: 7 };
+            let a = inject(&trace, layout, spec).unwrap();
+            let b = inject(&trace, layout, spec).unwrap();
+            assert_eq!(a.site, b.site, "{kind}");
+            assert_eq!(a.ops, b.ops, "{kind}");
+            let c = inject(&trace, layout, FaultSpec { kind, seed: 8 }).unwrap();
+            // Different seeds are allowed to coincide for tiny traces,
+            // but the description must still be self-consistent.
+            assert!(c.site < c.ops.len());
+        }
+    }
+
+    #[test]
+    fn spliced_faults_grow_the_trace_by_one_op() {
+        let trace = aos_trace();
+        let layout = PointerLayout::default();
+        for kind in [
+            FaultKind::OverflowWrite,
+            FaultKind::UnderflowWrite,
+            FaultKind::UseAfterFree,
+            FaultKind::DoubleFree,
+        ] {
+            let inj = inject(&trace, layout, FaultSpec { kind, seed: 1 }).unwrap();
+            assert_eq!(inj.ops.len(), trace.len() + 1, "{kind}");
+        }
+        for kind in [FaultKind::PacTamper, FaultKind::AhcForge] {
+            let inj = inject(&trace, layout, FaultSpec { kind, seed: 1 }).unwrap();
+            assert_eq!(inj.ops.len(), trace.len(), "{kind} rewrites in place");
+            assert_ne!(inj.ops[inj.site], trace[inj.site], "{kind}");
+        }
+    }
+
+    #[test]
+    fn uninstrumented_trace_yields_typed_error_not_panic() {
+        let p = by_name("hmmer").unwrap();
+        let baseline: Vec<Op> = TraceGenerator::new(p, SafetyConfig::Baseline, 0.004).collect();
+        let err = inject(
+            &baseline,
+            PointerLayout::default(),
+            FaultSpec {
+                kind: FaultKind::OverflowWrite,
+                seed: 0,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, AosError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(kind.name()).unwrap(), kind);
+        }
+        assert!(FaultKind::parse("rowhammer").is_err());
+    }
+}

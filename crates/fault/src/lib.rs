@@ -1,0 +1,32 @@
+//! Deterministic fault injection for the AOS reproduction.
+//!
+//! The paper's security claim (§VII) is binary: a heap overflow,
+//! underflow, use-after-free or double free — and any attempt to
+//! forge the pointer metadata that encodes them — raises an AOS
+//! exception, while an unprotected machine executes the same access
+//! stream silently. This crate turns that claim into a measurable,
+//! regression-testable artifact:
+//!
+//! - [`inject`] transforms a [`TraceGenerator`](aos_workloads::TraceGenerator)
+//!   trace by splicing in one seeded fault (see [`FaultKind`]);
+//! - [`oracle`] replays clean and faulted traces through
+//!   [`Machine`](aos_sim::Machine) configurations and classifies each
+//!   trial as detected / missed / false positive;
+//! - [`corrupt`] models physical bounds-record corruption (bit flips,
+//!   lost ways) against the HBT's CRC-3 fail-closed design;
+//! - [`campaign`] fans a `kind × seed × system` grid through the
+//!   hardened campaign runner and annotates the
+//!   `aos-campaign-report/v2` document with detection rates.
+//!
+//! Every fault is a pure function of `(workload, kind, seed)` — two
+//! runs of the same spec inject the identical op at the identical
+//! trace position, so detection verdicts can be pinned in tests.
+
+pub mod campaign;
+pub mod corrupt;
+pub mod inject;
+pub mod oracle;
+
+pub use campaign::{run_fault_campaign, FaultCampaignConfig, FaultCampaignOutcome};
+pub use inject::{inject, FaultKind, FaultSpec, Injection};
+pub use oracle::{run_trial, FaultTrial, TrialMatrix, Verdict};

@@ -1,0 +1,222 @@
+//! The detection oracle: replays clean and faulted traces through a
+//! system's machine model and classifies the outcome.
+//!
+//! A trial is **detected** when the faulted trace raises strictly
+//! more violations than the clean trace on the same machine, and a
+//! **false positive** when the clean trace raises any violation at
+//! all. The paper's security table (§VII) then reduces to: every
+//! spatial/temporal/forgery trial is detected under AOS and missed
+//! under Baseline, with zero false positives anywhere.
+
+use aos_core::experiment::SystemUnderTest;
+use aos_isa::SafetyConfig;
+use aos_ptrauth::PointerLayout;
+use aos_sim::Machine;
+use aos_util::AosError;
+use aos_workloads::{TraceGenerator, WorkloadProfile};
+
+use crate::inject::{inject, FaultSpec};
+
+/// The oracle's classification of one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The machine raised a violation the clean run did not.
+    Detected,
+    /// The faulted trace executed without an extra violation.
+    Missed,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Verdict::Detected => "detected",
+            Verdict::Missed => "missed",
+        })
+    }
+}
+
+/// One `(fault × system)` trial and its measured outcome.
+#[derive(Debug, Clone)]
+pub struct FaultTrial {
+    /// The injected fault.
+    pub spec: FaultSpec,
+    /// The system the trace ran on.
+    pub system: SafetyConfig,
+    /// Violations the *clean* trace raised (any > 0 is a false
+    /// positive).
+    pub clean_violations: u64,
+    /// Violations the faulted trace raised.
+    pub faulty_violations: u64,
+    /// Where/what was injected, for the report.
+    pub description: String,
+}
+
+impl FaultTrial {
+    /// Detected iff the fault added at least one violation.
+    pub fn verdict(&self) -> Verdict {
+        if self.faulty_violations > self.clean_violations {
+            Verdict::Detected
+        } else {
+            Verdict::Missed
+        }
+    }
+
+    /// True when the clean trace itself raised a violation.
+    pub fn false_positive(&self) -> bool {
+        self.clean_violations > 0
+    }
+}
+
+/// Runs one fault trial: generates the AOS-instrumented trace for
+/// `profile`, injects `spec`, and replays both the clean and the
+/// faulted stream on the machine `sut` describes.
+///
+/// The trace is always instrumented with [`SafetyConfig::Aos`] so
+/// every fault class has an anchor; whether the *machine* acts on the
+/// instrumentation is exactly what `sut.safety` varies — a Baseline
+/// machine executes the identical faulty access stream with checking
+/// disabled, which is the paper's "unprotected build" comparison.
+pub fn run_trial(
+    profile: &WorkloadProfile,
+    sut: &SystemUnderTest,
+    spec: FaultSpec,
+) -> Result<FaultTrial, AosError> {
+    let trace: Vec<_> = TraceGenerator::new(profile, SafetyConfig::Aos, sut.scale).collect();
+    let injection = inject(&trace, PointerLayout::default(), spec)?;
+    let clean = Machine::new(sut.machine_config()).run(trace);
+    let faulty = Machine::new(sut.machine_config()).run(injection.ops);
+    Ok(FaultTrial {
+        spec,
+        system: sut.safety,
+        clean_violations: clean.violations,
+        faulty_violations: faulty.violations,
+        description: injection.description,
+    })
+}
+
+/// An accumulated grid of trials with its summary arithmetic.
+#[derive(Debug, Clone, Default)]
+pub struct TrialMatrix {
+    /// Every trial run, in execution order.
+    pub trials: Vec<FaultTrial>,
+}
+
+impl TrialMatrix {
+    /// Adds one trial.
+    pub fn push(&mut self, trial: FaultTrial) {
+        self.trials.push(trial);
+    }
+
+    /// Trials on systems where AOS checking is active.
+    pub fn protected(&self) -> impl Iterator<Item = &FaultTrial> {
+        self.trials.iter().filter(|t| t.system.uses_aos())
+    }
+
+    /// Trials on systems without AOS checking.
+    pub fn unprotected(&self) -> impl Iterator<Item = &FaultTrial> {
+        self.trials.iter().filter(|t| !t.system.uses_aos())
+    }
+
+    /// Detected fraction among protected trials (1.0 when there are
+    /// none, so an empty matrix does not read as a regression).
+    pub fn detection_rate(&self) -> f64 {
+        let (mut detected, mut total) = (0usize, 0usize);
+        for t in self.protected() {
+            total += 1;
+            detected += usize::from(t.verdict() == Verdict::Detected);
+        }
+        if total == 0 {
+            1.0
+        } else {
+            detected as f64 / total as f64
+        }
+    }
+
+    /// Count of clean-trace violations anywhere in the matrix.
+    pub fn false_positives(&self) -> usize {
+        self.trials.iter().filter(|t| t.false_positive()).count()
+    }
+
+    /// The acceptance gate: every protected trial detected, every
+    /// clean trace silent.
+    pub fn is_sound(&self) -> bool {
+        self.detection_rate() == 1.0 && self.false_positives() == 0
+    }
+
+    /// JSON object summarizing the matrix, suitable for
+    /// [`aos_core::experiment::campaign::CampaignReport::annotate`].
+    pub fn to_json_value(&self) -> String {
+        let protected_total = self.protected().count();
+        let protected_detected = self
+            .protected()
+            .filter(|t| t.verdict() == Verdict::Detected)
+            .count();
+        let unprotected_total = self.unprotected().count();
+        let unprotected_missed = self
+            .unprotected()
+            .filter(|t| t.verdict() == Verdict::Missed)
+            .count();
+        format!(
+            "{{\"trials\": {}, \"aos_detected\": {}, \"aos_total\": {}, \
+             \"baseline_missed\": {}, \"baseline_total\": {}, \
+             \"detection_rate\": {:.4}, \"false_positives\": {}}}",
+            self.trials.len(),
+            protected_detected,
+            protected_total,
+            unprotected_missed,
+            unprotected_total,
+            self.detection_rate(),
+            self.false_positives(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::FaultKind;
+    use aos_workloads::profile::by_name;
+
+    #[test]
+    fn aos_detects_overflow_and_baseline_misses_it() {
+        let p = by_name("hmmer").unwrap();
+        let spec = FaultSpec {
+            kind: FaultKind::OverflowWrite,
+            seed: 3,
+        };
+        let aos = run_trial(p, &SystemUnderTest::scaled(SafetyConfig::Aos, 0.004), spec).unwrap();
+        assert_eq!(aos.verdict(), Verdict::Detected);
+        assert!(!aos.false_positive());
+        let base = run_trial(
+            p,
+            &SystemUnderTest::scaled(SafetyConfig::Baseline, 0.004),
+            spec,
+        )
+        .unwrap();
+        assert_eq!(base.verdict(), Verdict::Missed);
+        assert_eq!(base.faulty_violations, 0);
+    }
+
+    #[test]
+    fn matrix_summary_arithmetic() {
+        let p = by_name("hmmer").unwrap();
+        let mut matrix = TrialMatrix::default();
+        for system in [SafetyConfig::Aos, SafetyConfig::Baseline] {
+            matrix.push(
+                run_trial(
+                    p,
+                    &SystemUnderTest::scaled(system, 0.004),
+                    FaultSpec {
+                        kind: FaultKind::UseAfterFree,
+                        seed: 1,
+                    },
+                )
+                .unwrap(),
+            );
+        }
+        assert!(matrix.is_sound());
+        let json = matrix.to_json_value();
+        assert!(json.contains("\"detection_rate\": 1.0000"));
+        assert!(json.contains("\"false_positives\": 0"));
+    }
+}

@@ -6,13 +6,53 @@
 //! fit in one 8-byte word, halving the metadata footprint of a naive
 //! (lower, upper) pair and letting one 64-byte cache line carry eight
 //! bounds for parallel checking.
+//!
+//! The three bits Fig. 9 leaves reserved (`[63:61]`) carry a CRC-3
+//! integrity code here (generator `x³+x+1`, primitive) over the 61
+//! payload bits. A record whose CRC does not verify **fails closed**:
+//! [`CompressedBounds::check`] and [`CompressedBounds::matches_base`]
+//! treat it as matching nothing, so a bit-flipped table entry surfaces
+//! as a bounds-check/clear failure (the AOS exception path) rather
+//! than silently validating a rogue access. CRC-3 detects every
+//! single-bit flip and all double-bit flips except pairs of bits in
+//! the same residue class mod 7 (because `x` has order 7 modulo the
+//! generator) — see DESIGN.md "Fault model & error taxonomy".
+
+/// Why a (base, size) pair cannot be encoded as [`CompressedBounds`].
+///
+/// Raised by [`CompressedBounds::try_encode`] when the input violates
+/// one of the `malloc` properties the compression scheme relies on —
+/// the typed form of what a crafted or replayed trace can get wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MalformedBounds {
+    /// The rejected lower bound.
+    pub base: u64,
+    /// The rejected size.
+    pub size: u64,
+    /// Which encoding property failed.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for MalformedBounds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot encode bounds base={:#x} size={}: {}",
+            self.base, self.size, self.reason
+        )
+    }
+}
+
+impl std::error::Error for MalformedBounds {}
 
 /// One compressed bounds record.
 ///
-/// Bit layout (Fig. 9a): `[63:61]` reserved, `[60:32]` = lower-bound
-/// bits `[32:4]`, `[31:0]` = size. The all-zero word is reserved as
-/// the *empty* encoding (`bndclr` writes it), which is unambiguous
-/// because a real record always has a nonzero size.
+/// Bit layout (Fig. 9a): `[63:61]` CRC-3 over the payload (reserved
+/// in the paper), `[60:32]` = lower-bound bits `[32:4]`, `[31:0]` =
+/// size. The all-zero word is reserved as the *empty* encoding
+/// (`bndclr` writes it), which is unambiguous because a real record
+/// always has a nonzero size — and self-consistent, since the CRC of
+/// zero is zero.
 ///
 /// # Examples
 ///
@@ -36,14 +76,38 @@ impl CompressedBounds {
     /// # Panics
     ///
     /// Panics if `base` is not 16-byte aligned or `size` is zero or
-    /// does not fit 32 bits — the two `malloc` properties the scheme
-    /// relies on.
+    /// does not fit 32 bits — the `malloc` properties the scheme
+    /// relies on. Untrusted inputs (decoded traces, injected faults)
+    /// go through [`CompressedBounds::try_encode`] instead.
     pub fn encode(base: u64, size: u64) -> Self {
-        assert_eq!(base % 16, 0, "base must be 16-byte aligned");
-        assert!(size > 0, "size must be nonzero");
-        assert!(size <= u32::MAX as u64, "size must fit 32 bits");
+        match Self::try_encode(base, size) {
+            Ok(b) => b,
+            Err(e) => panic!("{}", e.reason),
+        }
+    }
+
+    /// Fallible [`CompressedBounds::encode`] for untrusted inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MalformedBounds`] naming the violated property when
+    /// `base` is misaligned or `size` is zero or wider than 32 bits.
+    pub fn try_encode(base: u64, size: u64) -> Result<Self, MalformedBounds> {
+        let reason = if base % 16 != 0 {
+            Some("base must be 16-byte aligned")
+        } else if size == 0 {
+            Some("size must be nonzero")
+        } else if size > u32::MAX as u64 {
+            Some("size must fit 32 bits")
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            return Err(MalformedBounds { base, size, reason });
+        }
         let low_partial = (base >> 4) & ((1 << 29) - 1);
-        Self((low_partial << 32) | size)
+        let payload = (low_partial << 32) | size;
+        Ok(Self((crc3(payload) << PAYLOAD_BITS) | payload))
     }
 
     /// Reconstructs a record from its raw 8-byte representation (e.g.
@@ -62,10 +126,18 @@ impl CompressedBounds {
         self.0 == 0
     }
 
+    /// Verifies the CRC-3 in bits `[63:61]` against the 61-bit
+    /// payload. Every record produced by `encode` verifies; a record
+    /// read back from table memory after a bit flip (almost) never
+    /// does — see the module docs for the exact guarantee.
+    pub fn integrity_ok(self) -> bool {
+        (self.0 >> PAYLOAD_BITS) == crc3(self.0 & PAYLOAD_MASK)
+    }
+
     /// The decompressed 33-bit-domain lower bound (`dLowBnd`,
     /// Fig. 9b).
     pub fn lower(self) -> u64 {
-        (self.0 >> 32) << 4
+        ((self.0 >> 32) & ((1 << 29) - 1)) << 4
     }
 
     /// The decompressed upper bound (`dUppBnd` = lower + size,
@@ -95,8 +167,12 @@ impl CompressedBounds {
     /// compensation), so addresses exactly 8 GiB apart with the same
     /// PAC would false-positively pass — the aliasing the paper argues
     /// is unexploitable (§V-D, §VII-E).
+    ///
+    /// A record whose CRC does not verify fails closed: it matches no
+    /// address, so the enclosing access raises the bounds-check
+    /// exception instead of trusting corrupted bounds.
     pub fn check(self, addr: u64) -> bool {
-        if self.is_empty() {
+        if self.is_empty() || !self.integrity_ok() {
             return false;
         }
         let t = self.truncated_addr(addr);
@@ -105,16 +181,67 @@ impl CompressedBounds {
 
     /// Returns `true` if `addr` is exactly this record's (partial)
     /// lower bound — the occupancy test `bndclr` performs before
-    /// clearing (paper §V-A2).
+    /// clearing (paper §V-A2). Fails closed on a bad CRC, like
+    /// [`CompressedBounds::check`].
     pub fn matches_base(self, addr: u64) -> bool {
-        !self.is_empty() && ((addr >> 4) & ((1 << 29) - 1)) == (self.0 >> 32) & ((1 << 29) - 1)
+        !self.is_empty()
+            && self.integrity_ok()
+            && ((addr >> 4) & ((1 << 29) - 1)) == (self.0 >> 32) & ((1 << 29) - 1)
     }
+}
+
+/// Payload width: everything below the CRC field.
+const PAYLOAD_BITS: u64 = 61;
+/// Mask selecting the payload bits `[60:0]`.
+const PAYLOAD_MASK: u64 = (1 << PAYLOAD_BITS) - 1;
+
+/// CRC-3 of the 61-bit payload, generator `g(x) = x³ + x + 1`
+/// (primitive, so `x` has multiplicative order 7 modulo `g`).
+///
+/// Computed as `payload(x) mod g` by residue-class folding rather
+/// than a bit-serial shift: payload bit `i` contributes `x^i mod g`,
+/// which depends only on `i mod 7`, so the payload folds into seven
+/// parity bits that are combined with the seven precomputed residues
+/// — O(7) popcounts instead of a 61-step loop, cheap enough for the
+/// MCU check path.
+fn crc3(payload: u64) -> u64 {
+    // RESIDUE[c] = x^c mod g: 1, x, x², x+1, x²+x, x²+x+1, x²+1.
+    const RESIDUE: [u64; 7] = [0b001, 0b010, 0b100, 0b011, 0b110, 0b111, 0b101];
+    const fn class_mask(c: u64) -> u64 {
+        let mut mask = 0u64;
+        let mut i = 0;
+        while i < PAYLOAD_BITS {
+            if i % 7 == c {
+                mask |= 1 << i;
+            }
+            i += 1;
+        }
+        mask
+    }
+    const MASKS: [u64; 7] = [
+        class_mask(0),
+        class_mask(1),
+        class_mask(2),
+        class_mask(3),
+        class_mask(4),
+        class_mask(5),
+        class_mask(6),
+    ];
+    let mut crc = 0;
+    let mut c = 0;
+    while c < 7 {
+        crc ^= RESIDUE[c] * (u64::from((payload & MASKS[c]).count_ones()) & 1);
+        c += 1;
+    }
+    crc
 }
 
 impl std::fmt::Display for CompressedBounds {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.is_empty() {
             write!(f, "[empty]")
+        } else if !self.integrity_ok() {
+            write!(f, "[corrupt raw={:#018x}]", self.0)
         } else {
             write!(f, "[{:#x}, {:#x})", self.lower(), self.upper())
         }
@@ -224,5 +351,70 @@ mod tests {
         let b = CompressedBounds::encode(0x100, 16);
         assert_eq!(b.to_string(), "[0x100, 0x110)");
         assert_eq!(CompressedBounds::EMPTY.to_string(), "[empty]");
+    }
+
+    /// Bit-serial long division, the textbook reference the folded
+    /// implementation must agree with.
+    fn crc3_reference(payload: u64) -> u64 {
+        let mut rem = 0u64;
+        for i in (0..61).rev() {
+            rem = (rem << 1) | ((payload >> i) & 1);
+            if rem & 0b1000 != 0 {
+                rem ^= 0b1011;
+            }
+        }
+        rem & 0b111
+    }
+
+    #[test]
+    fn folded_crc_matches_bit_serial_reference() {
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..10_000 {
+            // SplitMix64-style scramble for coverage of the domain.
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9) ^ (x >> 27);
+            let payload = x & ((1 << 61) - 1);
+            assert_eq!(crc3(payload), crc3_reference(payload), "payload={payload:#x}");
+        }
+        assert_eq!(crc3(0), 0, "EMPTY must stay self-consistent");
+    }
+
+    #[test]
+    fn encoded_records_verify_and_empty_is_consistent() {
+        assert!(CompressedBounds::encode(0x4000_0010, 64).integrity_ok());
+        assert!(CompressedBounds::encode(0x10, u32::MAX as u64).integrity_ok());
+        assert!(CompressedBounds::EMPTY.integrity_ok());
+    }
+
+    #[test]
+    fn try_encode_rejects_what_encode_panics_on() {
+        assert!(CompressedBounds::try_encode(0x4000_0010, 64).is_ok());
+        let e = CompressedBounds::try_encode(0x11, 16).unwrap_err();
+        assert!(e.reason.contains("aligned"), "{e}");
+        let e = CompressedBounds::try_encode(0x10, 0).unwrap_err();
+        assert!(e.reason.contains("nonzero"), "{e}");
+        let e = CompressedBounds::try_encode(0x10, 1 << 33).unwrap_err();
+        assert!(e.reason.contains("32 bits"), "{e}");
+        assert!(e.to_string().contains("cannot encode bounds"));
+    }
+
+    #[test]
+    fn single_bit_flips_always_fail_closed() {
+        let b = CompressedBounds::encode(0x4000_0010, 64);
+        for bit in 0..64 {
+            let flipped = CompressedBounds::from_raw(b.to_raw() ^ (1 << bit));
+            assert!(!flipped.integrity_ok(), "bit {bit} escaped the CRC");
+            // Fail-closed: the corrupted record validates nothing, not
+            // even the formerly in-bounds base address.
+            assert!(!flipped.check(0x4000_0010), "bit {bit}");
+            assert!(!flipped.check(0x4000_004F), "bit {bit}");
+            assert!(!flipped.matches_base(0x4000_0010), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn corrupt_record_displays_raw() {
+        let b = CompressedBounds::encode(0x100, 16);
+        let corrupt = CompressedBounds::from_raw(b.to_raw() ^ 1);
+        assert!(corrupt.to_string().starts_with("[corrupt raw="));
     }
 }

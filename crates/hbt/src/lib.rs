@@ -36,7 +36,7 @@
 mod compress;
 mod table;
 
-pub use compress::CompressedBounds;
+pub use compress::{CompressedBounds, MalformedBounds};
 pub use table::{
     ClearError, HashedBoundsTable, HbtConfig, HbtLookup, HbtSlot, HbtStats, StoreError,
     BOUNDS_PER_WAY,

@@ -375,17 +375,42 @@ impl HashedBoundsTable {
     ///
     /// # Panics
     ///
-    /// Panics if the table is already at `max_ways`.
+    /// Panics if the table is already at `max_ways`. Callers on an
+    /// untrusted-input path (a workload with pathological PAC
+    /// collisions) use [`HashedBoundsTable::try_begin_resize`].
     pub fn begin_resize(&mut self) {
+        self.try_begin_resize()
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Whether another doubling still fits under `max_ways`.
+    pub fn can_resize(&self) -> bool {
+        self.ways * 2 <= self.config.max_ways
+    }
+
+    /// Fallible [`HashedBoundsTable::begin_resize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aos_util::AosError::ResourceExhausted`] when the
+    /// table is already at `max_ways`; the table is left untouched
+    /// (an in-flight migration is *not* completed) so the caller can
+    /// degrade — drop the store, count a violation — instead of
+    /// aborting the whole run.
+    pub fn try_begin_resize(&mut self) -> Result<(), aos_util::AosError> {
+        if !self.can_resize() {
+            return Err(aos_util::AosError::exhausted(
+                "HBT associativity",
+                format!(
+                    "HBT exceeded max associativity {}",
+                    self.config.max_ways
+                ),
+            ));
+        }
         if self.migration.is_some() {
             self.finish_migration();
         }
         let new_ways = self.ways * 2;
-        assert!(
-            new_ways <= self.config.max_ways,
-            "HBT exceeded max associativity {}",
-            self.config.max_ways
-        );
         let rows = self.rows();
         let new_slots = rows * new_ways as u64 * BOUNDS_PER_WAY as u64;
         // Each generation gets a disjoint address region so the old and
@@ -403,6 +428,7 @@ impl HashedBoundsTable {
         self.base = new_base;
         self.generation += 1;
         self.stats.resizes += 1;
+        Ok(())
     }
 
     /// Migrates up to `rows` rows from the old table into the new one,
@@ -766,5 +792,27 @@ mod tests {
         });
         t.begin_resize();
         t.begin_resize();
+    }
+
+    #[test]
+    fn try_resize_degrades_instead_of_panicking() {
+        let mut t = HashedBoundsTable::new(HbtConfig {
+            pac_size: 11,
+            initial_ways: 1,
+            max_ways: 2,
+            base_addr: 0x1000_0000,
+            compressed: true,
+        });
+        assert!(t.can_resize());
+        t.try_begin_resize().unwrap();
+        t.finish_migration();
+        assert_eq!(t.ways(), 2);
+        assert!(!t.can_resize());
+        let err = t.try_begin_resize().unwrap_err();
+        assert!(err.to_string().contains("max associativity 2"), "{err}");
+        // The failed attempt left the table usable at its current size.
+        assert_eq!(t.ways(), 2);
+        t.store(9, CompressedBounds::encode(0x9_0000, 64)).unwrap();
+        assert!(t.check(9, 0x9_0000, 0).is_some());
     }
 }

@@ -75,6 +75,17 @@ pub enum HeapError {
         /// The offending pointer.
         pointer: u64,
     },
+    /// AOS could not attach bounds metadata to the allocation — the
+    /// bounds table is at max associativity, or the size does not fit
+    /// the 32-bit field of the Fig. 9 encoding. The chunk is rolled
+    /// back, so the heap is unchanged. (Raised by the instrumented
+    /// `malloc` in `aos-core`, not by the raw allocator.)
+    BoundsMetadata {
+        /// Bytes that were requested.
+        requested: u64,
+        /// Which metadata step failed.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for HeapError {
@@ -87,11 +98,35 @@ impl std::fmt::Display for HeapError {
                 write!(f, "free of {pointer:#x}, which is not an allocation base")
             }
             HeapError::DoubleFree { pointer } => write!(f, "double free of {pointer:#x}"),
+            HeapError::BoundsMetadata { requested, reason } => write!(
+                f,
+                "cannot attach bounds metadata for {requested}-byte allocation: {reason}"
+            ),
         }
     }
 }
 
 impl std::error::Error for HeapError {}
+
+impl From<HeapError> for aos_util::AosError {
+    fn from(e: HeapError) -> Self {
+        match e {
+            HeapError::OutOfMemory { requested } => aos_util::AosError::exhausted(
+                "heap segment",
+                format!("{requested} bytes requested"),
+            ),
+            HeapError::BoundsMetadata { requested, reason } => aos_util::AosError::exhausted(
+                "bounds metadata",
+                format!("{requested} bytes requested: {reason}"),
+            ),
+            HeapError::InvalidFree { .. } | HeapError::DoubleFree { .. } => {
+                aos_util::AosError::SafetyViolation {
+                    detail: e.to_string(),
+                }
+            }
+        }
+    }
+}
 
 /// The simulated heap allocator.
 ///
@@ -120,17 +155,38 @@ impl HeapAllocator {
     ///
     /// # Panics
     ///
-    /// Panics if `config.base_addr` is not 16-byte aligned.
+    /// Panics if `config.base_addr` is not 16-byte aligned. Configs
+    /// built from untrusted input go through
+    /// [`HeapAllocator::try_new`].
     pub fn new(config: HeapConfig) -> Self {
-        assert_eq!(config.base_addr % 16, 0, "heap base must be 16-byte aligned");
-        Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`HeapAllocator::new`] for configurations assembled
+    /// from untrusted input (CLI flags, replayed experiment specs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aos_util::AosError::InvalidInput`] when `base_addr`
+    /// is not 16-byte aligned.
+    pub fn try_new(config: HeapConfig) -> Result<Self, aos_util::AosError> {
+        if config.base_addr % 16 != 0 {
+            return Err(aos_util::AosError::invalid_input(
+                "heap config",
+                format!(
+                    "heap base must be 16-byte aligned, got {:#x}",
+                    config.base_addr
+                ),
+            ));
+        }
+        Ok(Self {
             config,
             chunks: BTreeMap::new(),
             fastbins: BTreeMap::new(),
             bins: BTreeMap::new(),
             top: config.base_addr,
             profile: UsageProfile::default(),
-        }
+        })
     }
 
     /// The configuration this heap was built with.
@@ -530,6 +586,26 @@ mod tests {
         let a = h.malloc(64).unwrap();
         h.free(a.base).unwrap();
         assert_eq!(h.free(a.base), Err(HeapError::DoubleFree { pointer: a.base }));
+    }
+
+    #[test]
+    fn try_new_rejects_misaligned_base_without_panicking() {
+        let bad = HeapConfig {
+            base_addr: 0x4000_0001,
+            ..HeapConfig::default()
+        };
+        let err = HeapAllocator::try_new(bad).unwrap_err();
+        assert!(err.to_string().contains("16-byte aligned"), "{err}");
+        assert!(HeapAllocator::try_new(HeapConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn heap_errors_lift_into_the_shared_taxonomy() {
+        let oom = aos_util::AosError::from(HeapError::OutOfMemory { requested: 4096 });
+        assert!(matches!(oom, aos_util::AosError::ResourceExhausted { .. }));
+        let df = aos_util::AosError::from(HeapError::DoubleFree { pointer: 0x10 });
+        assert!(matches!(df, aos_util::AosError::SafetyViolation { .. }));
+        assert!(df.to_string().contains("double free"));
     }
 
     #[test]

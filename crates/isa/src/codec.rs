@@ -9,6 +9,8 @@
 
 use std::io::{self, Read, Write};
 
+use aos_util::AosError;
+
 use crate::Op;
 
 /// File magic: "AOST".
@@ -251,6 +253,52 @@ pub fn read_trace<R: Read>(mut reader: R) -> io::Result<(String, Vec<Op>)> {
     Ok((metadata, ops))
 }
 
+/// Reads a trace from a file, lifting failures into the shared
+/// [`AosError`] taxonomy with the path as context: I/O problems become
+/// [`AosError::Io`], malformed bytes become [`AosError::Corruption`].
+///
+/// # Errors
+///
+/// As above — every failure mode of [`read_trace`] plus `open`.
+pub fn read_trace_file(path: &std::path::Path) -> Result<(String, Vec<Op>), AosError> {
+    let file = std::fs::File::open(path).map_err(|e| AosError::Io {
+        context: path.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    read_trace(std::io::BufReader::new(file)).map_err(|e| match e.kind() {
+        io::ErrorKind::InvalidData => {
+            AosError::corruption(format!("trace {}", path.display()), e)
+        }
+        _ => AosError::Io {
+            context: path.display().to_string(),
+            detail: e.to_string(),
+        },
+    })
+}
+
+/// Writes a trace to a file, lifting failures into [`AosError::Io`]
+/// with the path as context; returns the op count like
+/// [`write_trace`].
+///
+/// # Errors
+///
+/// Any I/O failure from `create` or the writes.
+pub fn write_trace_file(
+    path: &std::path::Path,
+    metadata: &str,
+    ops: impl Iterator<Item = Op>,
+) -> Result<u64, AosError> {
+    let io_err = |e: io::Error| AosError::Io {
+        context: path.display().to_string(),
+        detail: e.to_string(),
+    };
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut writer = std::io::BufWriter::new(file);
+    let count = write_trace(&mut writer, metadata, ops).map_err(io_err)?;
+    writer.flush().map_err(io_err)?;
+    Ok(count)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,5 +452,33 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&mut buf, "", (0..1000).map(|_| Op::IntAlu)).unwrap();
         assert!(buf.len() < 1024 + 16, "1 byte per IntAlu: {}", buf.len());
+    }
+
+    #[test]
+    fn file_helpers_roundtrip_and_type_their_errors() {
+        let dir = std::env::temp_dir().join("aos-isa-codec-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.aost");
+        let ops = sample_ops();
+        let n = write_trace_file(&path, "file test", ops.iter().copied()).unwrap();
+        assert_eq!(n, ops.len() as u64);
+        let (meta, decoded) = read_trace_file(&path).unwrap();
+        assert_eq!(meta, "file test");
+        assert_eq!(decoded, ops);
+
+        // A missing file is an I/O error carrying the path.
+        let missing = dir.join("nope.aost");
+        let err = read_trace_file(&missing).unwrap_err();
+        assert!(matches!(err, AosError::Io { .. }), "{err}");
+        assert!(err.to_string().contains("nope.aost"));
+
+        // Garbage bytes are classified as corruption, not I/O.
+        let garbage = dir.join("garbage.aost");
+        std::fs::write(&garbage, b"NOT A TRACE").unwrap();
+        let err = read_trace_file(&garbage).unwrap_err();
+        assert!(matches!(err, AosError::Corruption { .. }), "{err}");
+        assert!(err.to_string().contains("bad magic"));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

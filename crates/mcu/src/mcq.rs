@@ -83,6 +83,10 @@ pub(crate) struct McqEntry {
     pub reported: bool,
     /// Whether this check was satisfied by bounds forwarding.
     pub forwarded: bool,
+    /// Set for a `bndstr` whose bounds could not be encoded: the entry
+    /// fails permanently (retries included) and raises
+    /// `MalformedBounds` instead of a store failure.
+    pub malformed: bool,
 }
 
 impl McqEntry {
@@ -121,6 +125,7 @@ mod tests {
             ready_at: 0,
             reported: false,
             forwarded: false,
+            malformed: false,
         }
     }
 

@@ -81,6 +81,16 @@ pub enum AosException {
         /// The pointer being freed.
         pointer: u64,
     },
+    /// `bndstr` carried bounds the Fig. 9 scheme cannot encode — a
+    /// misaligned base or a zero/oversized size. Real `malloc` never
+    /// produces these, so the op came from a malformed or tampered
+    /// trace; the entry fails without touching the table.
+    MalformedBounds {
+        /// The pointer whose bounds were rejected.
+        pointer: u64,
+        /// The rejected size.
+        size: u64,
+    },
 }
 
 impl std::fmt::Display for AosException {
@@ -96,6 +106,9 @@ impl std::fmt::Display for AosException {
             }
             AosException::BoundsClearFailure { pointer } => {
                 write!(f, "bounds clear failed for {pointer:#x}")
+            }
+            AosException::MalformedBounds { pointer, size } => {
+                write!(f, "malformed bounds for {pointer:#x} (size {size})")
             }
         }
     }
@@ -255,9 +268,17 @@ impl MemoryCheckUnit {
         let addr = self.layout.address(pointer);
         let pac = self.layout.pac(pointer);
         let ahc = Ahc::from_bits(self.layout.ahc(pointer));
-        let bnd_data = match op {
-            McuOp::BndStr { size, .. } => CompressedBounds::encode(addr, size),
-            _ => CompressedBounds::EMPTY,
+        // A bndstr whose bounds the Fig. 9 scheme cannot encode (only
+        // reachable from a malformed or tampered trace — malloc never
+        // produces one) is accepted into the queue but fails in place:
+        // it raises `MalformedBounds` at the head instead of panicking
+        // here.
+        let (bnd_data, malformed) = match op {
+            McuOp::BndStr { size, .. } => match CompressedBounds::try_encode(addr, size) {
+                Ok(b) => (b, false),
+                Err(_) => (CompressedBounds::EMPTY, true),
+            },
+            _ => (CompressedBounds::EMPTY, false),
         };
         let id = self.next_id;
         self.next_id += 1;
@@ -280,10 +301,15 @@ impl MemoryCheckUnit {
             start_way: 0,
             hit: None,
             committed: false,
-            state: McqState::Init,
+            state: if malformed {
+                McqState::Fail
+            } else {
+                McqState::Init
+            },
             ready_at: now,
             reported: false,
             forwarded: false,
+            malformed,
         });
         Ok(id)
     }
@@ -330,7 +356,13 @@ impl MemoryCheckUnit {
     /// the OS path after resizing the table on a `bndstr` failure.
     pub fn retry(&mut self, id: u64) {
         if let Some(e) = self.queue.iter_mut().find(|e| e.id == id) {
-            e.state = McqState::Init;
+            // A malformed bndstr can never succeed; it stays failed no
+            // matter how often the OS retries.
+            e.state = if e.malformed {
+                McqState::Fail
+            } else {
+                McqState::Init
+            };
             e.count = 0;
             e.way = 0;
             e.hit = None;
@@ -381,6 +413,9 @@ impl MemoryCheckUnit {
                 let exception = match head.op {
                     McuOp::Access { pointer, is_store } => {
                         AosException::BoundsCheckFailure { pointer, is_store }
+                    }
+                    McuOp::BndStr { pointer, size } if head.malformed => {
+                        AosException::MalformedBounds { pointer, size }
                     }
                     McuOp::BndStr { .. } => AosException::BoundsStoreFailure { pac: head.pac },
                     McuOp::BndClr { pointer } => AosException::BoundsClearFailure { pointer },
@@ -595,6 +630,7 @@ impl MemoryCheckUnit {
         for j in (i + 1)..self.queue.len() {
             let e = &mut self.queue[j];
             if e.pac == pac
+                && !e.malformed
                 && matches!(
                     e.state,
                     McqState::BndChk | McqState::OccChk | McqState::BndStr | McqState::Fail
@@ -743,6 +779,60 @@ mod tests {
             }
         );
         assert!(mcu.is_empty(), "failed entry cleaned up in sync mode");
+    }
+
+    #[test]
+    fn malformed_bndstr_raises_typed_exception() {
+        let (mut mcu, mut hbt, layout) = setup();
+        // A misaligned base: no real malloc produces this, so it can
+        // only arrive via a crafted/tampered trace. It must surface as
+        // a typed exception, not a panic, and not touch the table.
+        let ptr = signed(layout, 0x4008, 7);
+        let err = mcu
+            .run_sync(McuOp::BndStr { pointer: ptr, size: 64 }, &mut hbt)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AosException::MalformedBounds {
+                pointer: ptr,
+                size: 64
+            }
+        );
+        assert!(err.to_string().contains("malformed bounds"));
+        assert!(mcu.is_empty(), "failed entry cleaned up in sync mode");
+        assert_eq!(hbt.row_occupancy(7), 0, "table untouched");
+
+        // Zero and oversized sizes take the same path.
+        let ptr = signed(layout, 0x4000, 7);
+        for bad_size in [0, 1 << 33] {
+            let err = mcu
+                .run_sync(
+                    McuOp::BndStr {
+                        pointer: ptr,
+                        size: bad_size,
+                    },
+                    &mut hbt,
+                )
+                .unwrap_err();
+            assert!(matches!(err, AosException::MalformedBounds { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn malformed_bndstr_stays_failed_across_retry() {
+        let (mut mcu, _hbt, layout) = setup();
+        let ptr = signed(layout, 0x4008, 7);
+        let id = mcu
+            .issue(McuOp::BndStr { pointer: ptr, size: 64 }, 0)
+            .unwrap();
+        mcu.mark_committed(id);
+        assert_eq!(mcu.state_of(id), Some(McqState::Fail));
+        // An OS that mistakes this for a row overflow and retries gets
+        // the same failure back instead of a corrupted table.
+        mcu.retry(id);
+        assert_eq!(mcu.state_of(id), Some(McqState::Fail));
+        mcu.drop_failed(id);
+        assert!(mcu.is_empty());
     }
 
     #[test]

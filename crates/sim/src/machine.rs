@@ -350,16 +350,27 @@ impl Machine {
                 match exception {
                     AosException::BoundsStoreFailure { .. } => {
                         // OS handler: allocate a doubled table and let
-                        // the background manager migrate (§V-F3).
-                        self.hbt.begin_resize();
-                        self.hbt_resizes += 1;
-                        self.mcu.retry(*id);
+                        // the background manager migrate (§V-F3). A
+                        // table already at max associativity cannot
+                        // grow; the OS then kills the store — counted
+                        // as a violation so the pathology is visible —
+                        // instead of aborting the whole simulation.
+                        if self.hbt.try_begin_resize().is_ok() {
+                            self.hbt_resizes += 1;
+                            self.mcu.retry(*id);
+                        } else {
+                            self.violations += 1;
+                            self.mcu.drop_failed(*id);
+                        }
                     }
                     AosException::BoundsCheckFailure { .. }
-                    | AosException::BoundsClearFailure { .. } => {
+                    | AosException::BoundsClearFailure { .. }
+                    | AosException::MalformedBounds { .. } => {
                         // Benign workloads never get here; count it and
                         // let the process continue (the "report and
-                        // resume" OS policy).
+                        // resume" OS policy). Malformed bndstr bounds
+                        // from a tampered trace land here too: the
+                        // store is dropped and the fault counted.
                         self.violations += 1;
                         self.mcu.drop_failed(*id);
                     }
@@ -717,6 +728,46 @@ mod tests {
         assert_eq!(stats.hbt_resizes, 1);
         assert_eq!(stats.hbt_ways, 2);
         assert_eq!(stats.violations, 0);
+    }
+
+    #[test]
+    fn hbt_exhaustion_degrades_instead_of_panicking() {
+        let layout = PointerLayout::default();
+        let mut config = MachineConfig::table_iv(SafetyConfig::Aos);
+        config.hbt.initial_ways = 1;
+        config.hbt.max_ways = 2;
+        // 17 same-PAC chunks exceed 2 ways × 8 slots: the final bndstr
+        // cannot be placed even after the last allowed resize.
+        let mut trace = Vec::new();
+        for i in 0..17u64 {
+            let signed = layout.compose(0x4000_0000 + i * 0x100, 0x77, 1);
+            trace.push(Op::BndStr {
+                pointer: signed,
+                size: 64,
+            });
+        }
+        let stats = Machine::new(config).run(trace);
+        assert_eq!(stats.hbt_resizes, 1);
+        assert_eq!(stats.hbt_ways, 2);
+        assert_eq!(stats.violations, 1, "the unplaceable store is counted");
+    }
+
+    #[test]
+    fn malformed_bndstr_in_trace_counts_as_violation() {
+        let layout = PointerLayout::default();
+        // A tampered trace: misaligned base and an oversized size.
+        let trace = vec![
+            Op::BndStr {
+                pointer: layout.compose(0x4000_0008, 5, 1),
+                size: 64,
+            },
+            Op::BndStr {
+                pointer: layout.compose(0x4000_1000, 6, 1),
+                size: 1 << 33,
+            },
+        ];
+        let stats = Machine::new(MachineConfig::table_iv(SafetyConfig::Aos)).run(trace);
+        assert_eq!(stats.violations, 2);
     }
 
     #[test]

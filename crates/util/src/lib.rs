@@ -12,7 +12,11 @@
 //! - [`par`] — a `std::thread::scope` fork/join helper
 //!   ([`par::ordered_parallel_map`]) that fans independent work items
 //!   across a worker pool while preserving input order, the substrate
-//!   for the campaign runner in `aos-core`.
+//!   for the campaign runner in `aos-core`; its panic-isolating twin
+//!   [`par::ordered_parallel_catch`] turns worker panics into per-item
+//!   errors instead of poisoning the whole join.
+//! - [`error`] — the shared [`error::AosError`] taxonomy the pipeline
+//!   crates converge to at subsystem boundaries.
 //!
 //! # Examples
 //!
@@ -26,9 +30,11 @@
 //! assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
 //! ```
 
+pub mod error;
 pub mod par;
 pub mod rng;
 pub mod stats;
 
+pub use error::AosError;
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use stats::{geomean, mean, stdev, Histogram};

@@ -18,7 +18,10 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::error::panic_message;
 
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "AOS_CAMPAIGN_THREADS";
@@ -59,8 +62,57 @@ pub fn effective_threads(requested: Option<usize>) -> usize {
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` (the scope joins all workers first).
+/// Re-raises the first (lowest-index) worker panic with its original
+/// message. Unlike a bare scope join, the panic is caught at the item
+/// that raised it, so every other item still completes first and the
+/// join itself never observes an unwinding thread; callers that want
+/// the per-item errors instead use [`ordered_parallel_catch`].
 pub fn ordered_parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    ordered_parallel_catch(items, threads, f)
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|msg| panic!("worker panicked: {msg}")))
+        .collect()
+}
+
+/// Like [`ordered_parallel_map`], but a panic in `f` is confined to
+/// the item that raised it: that slot becomes `Err(message)` while
+/// every other item still completes and returns `Ok`.
+///
+/// This is the substrate for campaign-cell isolation — one poisoned
+/// cell must never sink the whole run. Each invocation of `f` runs
+/// under [`std::panic::catch_unwind`], so the worker that claimed the
+/// item survives the panic and moves on to the next index; the scope
+/// join at the end never observes an unwinding thread.
+///
+/// `AssertUnwindSafe` is sound here because a panicking call's output
+/// slot is only ever written with the `Err` payload — no partially
+/// constructed `R` escapes — and `f` is shared read-only (`Sync`)
+/// exactly as in [`ordered_parallel_map`].
+pub fn ordered_parallel_catch<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_ordered(items, threads, |i, item| {
+        catch_unwind(AssertUnwindSafe(|| f(i, item)))
+            .map_err(|payload| panic_message(payload.as_ref()))
+    })
+}
+
+/// The shared fork/join machinery: maps `f` over `items` on up to
+/// `threads` scoped workers, results in input order. `f` must not
+/// panic (both public entry points wrap it in `catch_unwind`).
+fn run_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -163,5 +215,46 @@ mod tests {
         assert_eq!(effective_threads(Some(3)), 3);
         assert!(effective_threads(None) >= 1);
         assert!(effective_threads(Some(0)) >= 1);
+    }
+
+    #[test]
+    fn catch_confines_panic_to_its_item() {
+        let items: Vec<u64> = (0..16).collect();
+        for threads in [1, 4] {
+            let out = ordered_parallel_catch(&items, threads, |_, &x| {
+                assert!(x != 5, "poisoned item {x}");
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, slot) in out.iter().enumerate() {
+                if i == 5 {
+                    let msg = slot.as_ref().unwrap_err();
+                    assert!(msg.contains("poisoned item 5"), "got: {msg}");
+                } else {
+                    assert_eq!(*slot, Ok(i as u64 * 2), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn catch_survives_every_item_panicking() {
+        let items: Vec<u64> = (0..8).collect();
+        let out = ordered_parallel_catch(&items, 4, |i, _| -> u64 { panic!("item {i}") });
+        assert!(out.iter().all(Result::is_err));
+    }
+
+    #[test]
+    fn map_repanics_with_worker_message() {
+        let items: Vec<u64> = (0..8).collect();
+        let err = std::panic::catch_unwind(|| {
+            ordered_parallel_map(&items, 4, |_, &x| {
+                assert!(x != 3, "bad cell");
+                x
+            })
+        })
+        .unwrap_err();
+        let msg = crate::error::panic_message(err.as_ref());
+        assert!(msg.contains("bad cell"), "got: {msg}");
     }
 }

@@ -17,6 +17,22 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== tier-1: fault-injection smoke (strict) =="
+# Every fault class must be detected under AOS, missed by Baseline,
+# with zero false positives — nonzero exit otherwise.
+cargo run -q --release -p aos-cli -- faults --seeds 2 --strict true
+
+# Hardened crates must not grow new unwrap() on input-reachable paths.
+# The gate is advisory when clippy is not installed (offline image).
+if command -v cargo-clippy >/dev/null 2>&1; then
+    echo "== tier-1: clippy unwrap gate (hardened crates) =="
+    for crate in aos-util aos-heap aos-mcu aos-hbt aos-isa aos-core aos-fault; do
+        cargo clippy -q -p "$crate" --no-deps -- -D clippy::unwrap_used
+    done
+else
+    echo "== tier-1: clippy not installed, skipping unwrap gate =="
+fi
+
 if [[ "${1:-}" == "--with-smoke" ]]; then
     echo "== campaign smoke: SPEC2006 x 5 systems, scaled =="
     cargo run -q --release -p aos-bench --bin campaign_smoke -- \

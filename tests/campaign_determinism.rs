@@ -25,8 +25,8 @@ fn parallel_campaign_matches_sequential_runs_for_all_systems() {
         // cache/traffic/MCU/BWB statistics, violations, mispredicts —
         // so one comparison covers the full field set.
         assert_eq!(
-            sequential,
-            result.stats,
+            &sequential,
+            result.stats().expect("campaign cell unexpectedly failed"),
             "parallel and sequential stats diverge for {}",
             cell.label()
         );
@@ -44,7 +44,12 @@ fn thread_count_never_changes_results() {
     for threads in [2, 3, 8] {
         let many = run_campaign(&cells, &CampaignOptions::with_threads(threads));
         for (a, b) in one.results.iter().zip(&many.results) {
-            assert_eq!(a.stats, b.stats, "{} at {threads} threads", a.cell.label());
+            assert_eq!(
+                a.stats(),
+                b.stats(),
+                "{} at {threads} threads",
+                a.cell.label()
+            );
         }
     }
 }

@@ -1,0 +1,96 @@
+//! The security matrix, pinned per seed: every injected spatial and
+//! temporal fault is detected by the AOS machine and missed by the
+//! unprotected Baseline, with zero false positives on clean traces.
+//! This is the repo's executable form of the paper's §VII security
+//! evaluation.
+
+use aos_core::experiment::SystemUnderTest;
+use aos_fault::{run_trial, FaultKind, FaultSpec, Verdict};
+use aos_isa::SafetyConfig;
+use aos_workloads::profile::by_name;
+
+const SCALE: f64 = 0.004;
+const SEEDS: [u64; 3] = [1, 7, 42];
+
+#[test]
+fn aos_detects_and_baseline_misses_every_pinned_fault() {
+    let profile = by_name("hmmer").unwrap();
+    for kind in [
+        FaultKind::OverflowWrite,
+        FaultKind::UnderflowWrite,
+        FaultKind::UseAfterFree,
+        FaultKind::DoubleFree,
+    ] {
+        for seed in SEEDS {
+            let spec = FaultSpec { kind, seed };
+
+            let aos = run_trial(
+                profile,
+                &SystemUnderTest::scaled(SafetyConfig::Aos, SCALE),
+                spec,
+            )
+            .unwrap();
+            assert_eq!(
+                aos.verdict(),
+                Verdict::Detected,
+                "AOS must detect {kind} seed {seed}: {}",
+                aos.description
+            );
+            assert!(
+                !aos.false_positive(),
+                "clean AOS trace raised a violation ({kind} seed {seed})"
+            );
+
+            let baseline = run_trial(
+                profile,
+                &SystemUnderTest::scaled(SafetyConfig::Baseline, SCALE),
+                spec,
+            )
+            .unwrap();
+            assert_eq!(
+                baseline.verdict(),
+                Verdict::Missed,
+                "Baseline unexpectedly caught {kind} seed {seed}"
+            );
+            assert_eq!(baseline.faulty_violations, 0);
+        }
+    }
+}
+
+#[test]
+fn metadata_forgeries_are_detected_under_aos() {
+    let profile = by_name("hmmer").unwrap();
+    for kind in [FaultKind::PacTamper, FaultKind::AhcForge] {
+        for seed in SEEDS {
+            let trial = run_trial(
+                profile,
+                &SystemUnderTest::scaled(SafetyConfig::Aos, SCALE),
+                FaultSpec { kind, seed },
+            )
+            .unwrap();
+            assert_eq!(
+                trial.verdict(),
+                Verdict::Detected,
+                "AOS must detect {kind} seed {seed}: {}",
+                trial.description
+            );
+            assert!(!trial.false_positive());
+        }
+    }
+}
+
+#[test]
+fn pa_aos_system_also_detects_the_pinned_faults() {
+    let profile = by_name("hmmer").unwrap();
+    let trial = run_trial(
+        profile,
+        &SystemUnderTest::scaled(SafetyConfig::PaAos, SCALE),
+        FaultSpec {
+            kind: FaultKind::OverflowWrite,
+            seed: 1,
+        },
+    )
+    .unwrap();
+    assert_eq!(trial.verdict(), Verdict::Detected);
+    assert!(!trial.false_positive());
+}
