@@ -2,7 +2,12 @@
 //! Fig. 14 campaign (`SPEC2006 × {Baseline..PA+AOS}`) through the
 //! parallel campaign runner and writes `BENCH_campaign.json`
 //! (schema `aos-campaign-report/v2`: campaign wall-clock, cells/sec,
-//! cell-health counters, per-cell status and sim-cycles/sec).
+//! cell-health counters, per-cell status, sim-cycles/sec, and the
+//! streaming-pipeline columns `trace_ops`, `ops_per_sec` and
+//! `peak_trace_bytes`). Because every worker streams its generator
+//! straight into the machine, `--scale` can be raised ~10× over the
+//! old materialized default without memory growth: peak trace bytes
+//! stay `O(window)` per cell.
 //!
 //! ```text
 //! cargo run --release -p aos-bench --bin campaign_smoke -- \
@@ -64,6 +69,18 @@ fn main() {
         report.wall.as_secs_f64(),
         report.cells_per_sec(),
         report.total_sim_cycles() as f64 / report.wall.as_secs_f64().max(1e-12),
+    );
+    let total_ops: u64 = report.results.iter().map(|r| r.trace_ops()).sum();
+    let peak_trace = report
+        .results
+        .iter()
+        .map(|r| r.peak_trace_bytes())
+        .max()
+        .unwrap_or(0);
+    println!(
+        "streaming: {total_ops} trace ops ({:.0} ops/sec aggregate), \
+         peak trace buffer {peak_trace} bytes per cell",
+        total_ops as f64 / report.wall.as_secs_f64().max(1e-12),
     );
     match report.write_json(&out_path) {
         Ok(()) => println!("report written to {out_path}"),

@@ -1,0 +1,122 @@
+//! Streaming-vs-materialized trace pipeline benchmark: the measurable
+//! artifact for the streaming refactor. For a handful of workloads it
+//! runs the same `(workload, AOS)` simulation twice —
+//!
+//! - **materialized**: collect the whole `TraceGenerator` output into
+//!   a `Vec<Op>` first, then feed the vector to the machine (the old
+//!   pipeline shape);
+//! - **streaming**: feed the generator straight into the machine
+//!   through a meter (the new shape);
+//!
+//! — checks the `RunStats` are bit-identical, and writes
+//! `BENCH_streaming.json` with ops/sec and peak trace bytes for both
+//! shapes. The peak column is the point: materialized peaks at the
+//! full trace, streaming at the generator's event buffer.
+//!
+//! ```text
+//! cargo run --release -p aos-bench --bin streaming_bench -- \
+//!     --scale 0.02 --out BENCH_streaming.json
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use aos_core::experiment::SystemUnderTest;
+use aos_core::isa::stream::{BufferedOps, OpStream};
+use aos_core::isa::{Op, SafetyConfig};
+use aos_core::sim::Machine;
+use aos_core::workloads::{profile, TraceGenerator};
+
+const WORKLOADS: [&str; 4] = ["hmmer", "gcc", "mcf", "omnetpp"];
+
+fn arg_value(argv: &[String], flag: &str) -> Option<String> {
+    argv.iter()
+        .position(|a| a == flag)
+        .and_then(|i| argv.get(i + 1))
+        .cloned()
+}
+
+struct Measurement {
+    trace_ops: u64,
+    ops_per_sec: f64,
+    peak_trace_bytes: u64,
+    cycles: u64,
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let scale = aos_bench::scale_from_args(argv.iter().cloned());
+    let out_path = arg_value(&argv, "--out").unwrap_or_else(|| "BENCH_streaming.json".to_string());
+    let op_bytes = std::mem::size_of::<Op>() as u64;
+
+    let mut rows = String::new();
+    println!(
+        "{:<12} {:>12} {:>14} {:>14} {:>16} {:>16}",
+        "workload", "trace ops", "mat ops/s", "str ops/s", "mat peak bytes", "str peak bytes"
+    );
+    for (w, name) in WORKLOADS.iter().enumerate() {
+        let p = profile::by_name(name).expect("known workload");
+        let sut = SystemUnderTest::scaled(SafetyConfig::Aos, scale);
+
+        // Materialized: the whole trace lives in memory at once.
+        let start = Instant::now();
+        let trace: Vec<Op> = TraceGenerator::new(p, SafetyConfig::Aos, scale).collect();
+        let mat_peak = trace.len() as u64 * op_bytes;
+        let mat_stats = Machine::new(sut.machine_config()).run(trace.iter().copied());
+        let mat = Measurement {
+            trace_ops: trace.len() as u64,
+            ops_per_sec: trace.len() as f64 / start.elapsed().as_secs_f64().max(1e-12),
+            peak_trace_bytes: mat_peak,
+            cycles: mat_stats.cycles,
+        };
+        drop(trace);
+
+        // Streaming: generator feeds the machine through a meter.
+        let start = Instant::now();
+        let mut stream = TraceGenerator::new(p, SafetyConfig::Aos, scale).metered();
+        let str_stats = Machine::new(sut.machine_config()).run(&mut stream);
+        let str_ = Measurement {
+            trace_ops: stream.ops(),
+            ops_per_sec: stream.ops() as f64 / start.elapsed().as_secs_f64().max(1e-12),
+            peak_trace_bytes: stream.peak_buffered_ops() as u64 * op_bytes,
+            cycles: str_stats.cycles,
+        };
+
+        assert_eq!(
+            mat_stats, str_stats,
+            "{name}: streaming changed the simulation"
+        );
+        assert_eq!(mat.trace_ops, str_.trace_ops, "{name}: op count diverged");
+
+        println!(
+            "{:<12} {:>12} {:>14.0} {:>14.0} {:>16} {:>16}",
+            name, str_.trace_ops, mat.ops_per_sec, str_.ops_per_sec, mat.peak_trace_bytes,
+            str_.peak_trace_bytes
+        );
+        let _ = write!(
+            rows,
+            "    {{\"workload\": \"{name}\", \"trace_ops\": {}, \"sim_cycles\": {}, \
+             \"materialized\": {{\"ops_per_sec\": {:.0}, \"peak_trace_bytes\": {}}}, \
+             \"streaming\": {{\"ops_per_sec\": {:.0}, \"peak_trace_bytes\": {}}}}}{}\n",
+            str_.trace_ops,
+            str_.cycles,
+            mat.ops_per_sec,
+            mat.peak_trace_bytes,
+            str_.ops_per_sec,
+            str_.peak_trace_bytes,
+            if w + 1 < WORKLOADS.len() { "," } else { "" },
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"aos-streaming-bench/v1\",\n  \"scale\": {scale},\n  \
+         \"op_bytes\": {op_bytes},\n  \"results\": [\n{rows}  ]\n}}\n"
+    );
+    match std::fs::write(&out_path, json) {
+        Ok(()) => println!("\nreport written to {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

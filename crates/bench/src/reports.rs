@@ -28,8 +28,9 @@ fn rule_line(out: &mut String, header: &str) {
 }
 
 /// Runs the full `profiles × systems` grid through the campaign
-/// runner and returns the stats row-major: index
-/// `p * systems.len() + s`.
+/// runner — each worker streams its generator straight into the
+/// machine, so the grid's peak trace memory is `threads × O(window)`
+/// — and returns the stats row-major: index `p * systems.len() + s`.
 fn campaign_grid(profiles: &[WorkloadProfile], systems: &[SystemUnderTest]) -> Vec<RunStats> {
     let cells = matrix(profiles.iter().copied(), systems.iter().copied());
     run_campaign(&cells, &CampaignOptions::default())
@@ -38,7 +39,7 @@ fn campaign_grid(profiles: &[WorkloadProfile], systems: &[SystemUnderTest]) -> V
         .map(|r| {
             let label = r.cell.label();
             match r.outcome {
-                aos_core::experiment::campaign::CellOutcome::Completed(stats) => stats,
+                aos_core::experiment::campaign::CellOutcome::Completed(output) => output.stats,
                 aos_core::experiment::campaign::CellOutcome::Failed { error } => {
                     // Report generation needs every grid cell; a hole
                     // here means the figure itself is wrong.

@@ -1,6 +1,8 @@
 //! Tiny flag parser for the CLI (`--name value` pairs plus
 //! positionals); hand-rolled to keep the dependency set minimal.
 
+use aos_util::AosError;
+
 /// Parsed arguments: positionals in order, flags as `(name, value)`.
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct Parsed {
@@ -59,12 +61,32 @@ impl Parsed {
 }
 
 /// Parses and validates a `--scale` flag (default 1.0).
-pub fn scale(parsed: &Parsed) -> Result<f64, String> {
-    let s: f64 = parsed.flag_or("scale", 1.0)?;
+///
+/// # Errors
+///
+/// [`AosError::InvalidInput`] for an unparsable, NaN, non-positive or
+/// > 1.0 value — a silent pass-through would generate an empty or
+/// runaway trace downstream.
+pub fn scale(parsed: &Parsed) -> Result<f64, AosError> {
+    scale_or(parsed, 1.0)
+}
+
+/// [`scale`] with a caller-chosen default (e.g. `aos faults` uses a
+/// small window because each sweep replays the trace many times).
+pub fn scale_or(parsed: &Parsed, default: f64) -> Result<f64, AosError> {
+    let s: f64 = parsed
+        .flag_or("scale", default)
+        .map_err(|e| AosError::invalid_input("--scale", e))?;
+    if s.is_nan() {
+        return Err(AosError::invalid_input("--scale", "NaN is not a scale"));
+    }
     if s > 0.0 && s <= 1.0 {
         Ok(s)
     } else {
-        Err(format!("--scale must be in (0, 1], got {s}"))
+        Err(AosError::invalid_input(
+            "--scale",
+            format!("must be in (0, 1], got {s}"),
+        ))
     }
 }
 
@@ -109,5 +131,18 @@ mod tests {
         assert!(scale(&bad).is_err());
         let none = Parsed::parse(&argv(&[])).unwrap();
         assert_eq!(scale(&none).unwrap(), 1.0);
+        assert_eq!(scale_or(&none, 0.004).unwrap(), 0.004);
+    }
+
+    #[test]
+    fn degenerate_scales_are_typed_errors() {
+        for bad in ["0", "-0.5", "NaN", "inf", "bogus"] {
+            let p = Parsed::parse(&argv(&["--scale", bad])).unwrap();
+            let err = scale(&p).unwrap_err();
+            assert!(
+                matches!(err, AosError::InvalidInput { .. }),
+                "--scale {bad} must be InvalidInput, got {err}"
+            );
+        }
     }
 }

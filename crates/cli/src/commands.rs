@@ -12,7 +12,13 @@ use aos_core::workloads::profile::{self, REAL_WORLD, SPEC2006};
 use aos_fault::campaign::FaultCampaignConfig;
 use aos_fault::{run_fault_campaign, FaultKind};
 
-use crate::args::{scale, Parsed};
+use crate::args::{scale_or, Parsed};
+
+/// `args::scale` with its typed error flattened into the CLI's
+/// string-error convention.
+fn scale(parsed: &Parsed) -> Result<f64, String> {
+    crate::args::scale(parsed).map_err(|e| e.to_string())
+}
 
 /// The usage text.
 pub fn usage() -> String {
@@ -280,10 +286,7 @@ pub fn faults(args: &[String]) -> Result<(), String> {
     let workload = find_workload(parsed.flag("workload").unwrap_or("hmmer"))?;
     // Fault sweeps replay the trace once per (kind, seed, system):
     // default to a small window instead of the global full-scale one.
-    let scale: f64 = parsed.flag_or("scale", 0.004)?;
-    if !(scale > 0.0 && scale <= 1.0) {
-        return Err(format!("--scale must be in (0, 1], got {scale}"));
-    }
+    let scale = scale_or(&parsed, 0.004).map_err(|e| e.to_string())?;
     let seed_count: u64 = parsed.flag_or("seeds", 3u64)?;
     if seed_count == 0 {
         return Err("--seeds must be at least 1".to_string());
@@ -551,6 +554,19 @@ mod tests {
         let zero = Parsed::parse(&["--threads".into(), "0".into()]).unwrap();
         assert!(campaign_options(&zero).is_err());
         assert!(campaign(&["--suite".into(), "mystery".into()]).is_err());
+    }
+
+    #[test]
+    fn commands_reject_degenerate_scale() {
+        let bad = |v: &str| vec!["mcf".to_string(), "--scale".to_string(), v.to_string()];
+        for v in ["0", "-1", "NaN", "2.0"] {
+            assert!(run(&bad(v)).is_err(), "run --scale {v}");
+            assert!(compare(&bad(v)).is_err(), "compare --scale {v}");
+            assert!(
+                faults(&["--scale".to_string(), v.to_string()]).is_err(),
+                "faults --scale {v}"
+            );
+        }
     }
 
     #[test]

@@ -92,6 +92,25 @@ pub fn run(profile: &WorkloadProfile, sut: &SystemUnderTest) -> RunStats {
     machine.run(trace)
 }
 
+/// [`run`] through a stream meter: same simulation, but the trace
+/// flows through [`aos_isa::stream::Metered`] so the cell can report
+/// how many ops it simulated and how much trace the pipeline ever held
+/// buffered (the generator's event buffer — `O(window)`, not the
+/// trace). This is the campaign runner's default cell body.
+pub fn run_metered(profile: &WorkloadProfile, sut: &SystemUnderTest) -> campaign::CellOutput {
+    use aos_isa::stream::{BufferedOps, OpStream};
+
+    let mut trace = TraceGenerator::new(profile, sut.safety, sut.scale).metered();
+    let mut machine = Machine::new(sut.machine_config());
+    let stats = machine.run(&mut trace);
+    campaign::CellOutput {
+        stats,
+        trace_ops: trace.ops(),
+        peak_trace_bytes: trace.peak_buffered_ops() as u64
+            * std::mem::size_of::<aos_isa::Op>() as u64,
+    }
+}
+
 /// Convenience: execution time of `sut` normalized to the Baseline
 /// system at the same scale (the y-axis of Figs. 14 and 15).
 pub fn normalized_time(profile: &WorkloadProfile, sut: &SystemUnderTest) -> f64 {
@@ -131,6 +150,17 @@ mod tests {
         assert!(aos.mcu.signed_accesses > 0);
         assert_eq!(base.mcu.signed_accesses, 0);
         assert_eq!(aos.violations, 0, "benign workloads never fault");
+    }
+
+    #[test]
+    fn metered_run_matches_plain_run() {
+        let p = by_name("hmmer").unwrap();
+        let sut = SystemUnderTest::scaled(SafetyConfig::Aos, 0.004);
+        let plain = run(p, &sut);
+        let metered = run_metered(p, &sut);
+        assert_eq!(plain, metered.stats, "metering must be transparent");
+        assert!(metered.trace_ops > 0);
+        assert!(metered.peak_trace_bytes > 0);
     }
 
     #[test]

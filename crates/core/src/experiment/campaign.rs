@@ -83,11 +83,38 @@ pub fn matrix(
         .collect()
 }
 
+/// What a cell runner produces: the machine statistics plus the
+/// streaming-pipeline metering that backs the report's per-cell
+/// `trace_ops`, `ops_per_sec` and `peak_trace_bytes` columns.
+#[derive(Debug, Clone)]
+pub struct CellOutput {
+    /// The machine's statistics for the cell.
+    pub stats: RunStats,
+    /// Ops the cell's trace stream yielded into the machine.
+    pub trace_ops: u64,
+    /// Peak bytes of trace the pipeline held buffered — `O(window)`
+    /// under the streaming path, where the old materialized path held
+    /// the whole trace.
+    pub peak_trace_bytes: u64,
+}
+
+/// A bare `RunStats` is a valid cell output with no metering —
+/// used by custom runners that do not stream through a meter.
+impl From<RunStats> for CellOutput {
+    fn from(stats: RunStats) -> Self {
+        Self {
+            stats,
+            trace_ops: 0,
+            peak_trace_bytes: 0,
+        }
+    }
+}
+
 /// How a cell ended: with statistics, or with a captured failure.
 #[derive(Debug, Clone)]
 pub enum CellOutcome {
     /// The simulation ran to completion.
-    Completed(RunStats),
+    Completed(CellOutput),
     /// Every attempt panicked or timed out; the cell was skipped so the
     /// rest of the campaign could finish.
     Failed {
@@ -113,10 +140,34 @@ pub struct CellResult {
 impl CellResult {
     /// The machine statistics, when the cell completed.
     pub fn stats(&self) -> Option<&RunStats> {
+        self.output().map(|o| &o.stats)
+    }
+
+    /// The full runner output (stats + stream metering), when the cell
+    /// completed.
+    pub fn output(&self) -> Option<&CellOutput> {
         match &self.outcome {
-            CellOutcome::Completed(stats) => Some(stats),
+            CellOutcome::Completed(output) => Some(output),
             CellOutcome::Failed { .. } => None,
         }
+    }
+
+    /// Ops the cell's trace stream yielded. Zero for failed cells and
+    /// for custom runners that do not meter.
+    pub fn trace_ops(&self) -> u64 {
+        self.output().map(|o| o.trace_ops).unwrap_or(0)
+    }
+
+    /// Peak bytes of trace the cell's pipeline held buffered.
+    pub fn peak_trace_bytes(&self) -> u64 {
+        self.output().map(|o| o.peak_trace_bytes).unwrap_or(0)
+    }
+
+    /// Trace ops simulated per host second — the streaming throughput
+    /// metric in `BENCH_streaming.json`. Zero for failed or unmetered
+    /// cells.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.trace_ops() as f64 / self.wall.as_secs_f64().max(1e-12)
     }
 
     /// The final attempt's error, when the cell failed.
@@ -303,10 +354,14 @@ impl CampaignReport {
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             let body = match &r.outcome {
-                CellOutcome::Completed(stats) => format!(
-                    "\"sim_cycles\": {}, \"sim_cycles_per_sec\": {:.0}",
-                    stats.cycles,
+                CellOutcome::Completed(output) => format!(
+                    "\"sim_cycles\": {}, \"sim_cycles_per_sec\": {:.0}, \
+                     \"trace_ops\": {}, \"ops_per_sec\": {:.0}, \"peak_trace_bytes\": {}",
+                    output.stats.cycles,
                     r.sim_cycles_per_sec(),
+                    output.trace_ops,
+                    r.ops_per_sec(),
+                    output.peak_trace_bytes,
                 ),
                 CellOutcome::Failed { error } => {
                     format!("\"error\": \"{}\"", json_escape(error))
@@ -356,7 +411,9 @@ fn json_escape(s: &str) -> String {
 
 /// The function a campaign invokes per cell. Shared (`Arc`) because a
 /// timed-out attempt leaves a clone running on its abandoned thread.
-pub type CellRunner = Arc<dyn Fn(usize, &CampaignCell) -> RunStats + Send + Sync>;
+/// Runners that do not meter their stream can return a bare
+/// [`RunStats`] via `.into()`.
+pub type CellRunner = Arc<dyn Fn(usize, &CampaignCell) -> CellOutput + Send + Sync>;
 
 /// Runs every cell across the worker pool and collects results in
 /// input order. See the [module docs](self) for the determinism
@@ -379,7 +436,7 @@ pub fn run_campaign_with_progress(
         cells,
         options,
         progress,
-        Arc::new(|_index, cell: &CampaignCell| super::run(&cell.profile, &cell.sut)),
+        Arc::new(|_index, cell: &CampaignCell| super::run_metered(&cell.profile, &cell.sut)),
     )
 }
 
@@ -441,7 +498,7 @@ fn run_cell_guarded(
             Some(limit) => run_attempt_with_timeout(runner, index, cell, limit),
         };
         match result {
-            Ok(stats) => return (CellOutcome::Completed(stats), attempt),
+            Ok(output) => return (CellOutcome::Completed(output), attempt),
             Err(error) => {
                 last_error = error;
                 if attempt < max_attempts && !options.retry_backoff.is_zero() {
@@ -463,7 +520,7 @@ fn run_attempt_with_timeout(
     index: usize,
     cell: &CampaignCell,
     limit: Duration,
-) -> Result<RunStats, String> {
+) -> Result<CellOutput, String> {
     let (tx, rx) = mpsc::channel();
     let runner = Arc::clone(runner);
     let cell = *cell;
@@ -546,11 +603,31 @@ mod tests {
         assert!(json.contains("\"workload\": \"mcf\""));
         assert!(json.contains("\"note\": {\"tag\": \"smoke\"}"));
         assert_eq!(json.matches("sim_cycles_per_sec").count(), 3);
+        assert_eq!(json.matches("\"trace_ops\": ").count(), 3);
+        assert_eq!(json.matches("\"ops_per_sec\": ").count(), 3);
+        assert_eq!(json.matches("\"peak_trace_bytes\": ").count(), 3);
         assert_eq!(json.matches("\"status\": \"completed\"").count(), 3);
         // Balanced braces/brackets: cheap structural sanity without a
         // JSON parser in the dependency set.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn default_runner_meters_the_stream() {
+        let cells = small_cells()[..2].to_vec();
+        let report = run_campaign(&cells, &CampaignOptions::with_threads(1));
+        for r in &report.results {
+            assert!(r.trace_ops() > 0, "{}", r.cell.label());
+            assert!(r.ops_per_sec() > 0.0);
+            let peak = r.peak_trace_bytes();
+            assert!(peak > 0, "the generator buffers at least one event");
+            // O(window): a handful of ops per event, not the trace.
+            assert!(
+                peak < 64 * std::mem::size_of::<aos_isa::Op>() as u64,
+                "peak {peak} bytes looks like a materialized trace"
+            );
+        }
     }
 
     #[test]
@@ -564,7 +641,7 @@ mod tests {
                 if index == 1 {
                     panic!("deliberately poisoned cell");
                 }
-                crate::experiment::run(&cell.profile, &cell.sut)
+                crate::experiment::run(&cell.profile, &cell.sut).into()
             }),
         );
         assert_eq!(report.results.len(), 4);
@@ -593,7 +670,7 @@ mod tests {
                 if calls_in_runner.fetch_add(1, Ordering::SeqCst) == 0 {
                     panic!("transient fault");
                 }
-                crate::experiment::run(&cell.profile, &cell.sut)
+                crate::experiment::run(&cell.profile, &cell.sut).into()
             }),
         );
         assert_eq!(calls.load(Ordering::SeqCst), 2);

@@ -5,19 +5,19 @@
 //! `fault_detection` annotation.
 
 use std::sync::Arc;
-use std::sync::Mutex;
 
 use aos_core::experiment::campaign::{
-    run_campaign_custom, CampaignCell, CampaignOptions, CampaignReport,
+    run_campaign_custom, CampaignCell, CampaignOptions, CampaignReport, CellOutput,
 };
 use aos_core::experiment::SystemUnderTest;
-use aos_isa::SafetyConfig;
+use aos_isa::stream::{BufferedOps, OpStream};
+use aos_isa::{Op, SafetyConfig};
 use aos_ptrauth::PointerLayout;
 use aos_sim::Machine;
 use aos_util::AosError;
 use aos_workloads::{TraceGenerator, WorkloadProfile};
 
-use crate::inject::{inject, FaultKind, FaultSpec};
+use crate::inject::{plan_fault, FaultKind, FaultPlan, FaultSpec};
 use crate::oracle::{FaultTrial, TrialMatrix};
 
 /// What to sweep.
@@ -63,10 +63,14 @@ pub struct FaultCampaignOutcome {
     pub matrix: TrialMatrix,
 }
 
-/// Runs the grid. Each cell generates the AOS-instrumented trace,
-/// injects its `(kind, seed)` fault, and replays it on its system's
-/// machine; the clean trace is replayed once per system up front for
-/// the false-positive reference.
+/// Runs the grid, fully streaming: each `(kind, seed)` fault is
+/// planned **once** from one `O(window)` scan of the deterministic
+/// trace stream, then every cell regenerates the stream lazily inside
+/// its worker and replays it through the plan's splice adapter — no
+/// trace is ever materialized, so campaign peak memory is
+/// `threads × O(window)` instead of `cells × O(trace)`. The clean
+/// stream is replayed once per system up front for the false-positive
+/// reference.
 pub fn run_fault_campaign(config: &FaultCampaignConfig) -> Result<FaultCampaignOutcome, AosError> {
     if config.kinds.is_empty() || config.seeds.is_empty() || config.systems.is_empty() {
         return Err(AosError::invalid_input(
@@ -75,58 +79,74 @@ pub fn run_fault_campaign(config: &FaultCampaignConfig) -> Result<FaultCampaignO
         ));
     }
     let layout = PointerLayout::default();
-    let trace: Vec<_> =
-        TraceGenerator::new(&config.profile, SafetyConfig::Aos, config.scale).collect();
+    let stream = |profile: &WorkloadProfile, scale: f64| {
+        TraceGenerator::new(profile, SafetyConfig::Aos, scale)
+    };
 
     // Clean-reference violations per system (the false-positive gate).
     let mut clean_violations = Vec::with_capacity(config.systems.len());
     for &system in &config.systems {
         let sut = SystemUnderTest::scaled(system, config.scale);
-        let stats = Machine::new(sut.machine_config()).run(trace.iter().copied());
+        let stats = Machine::new(sut.machine_config()).run(stream(&config.profile, config.scale));
         clean_violations.push(stats.violations);
     }
 
     // One campaign cell per (kind, seed, system); the cell's label
-    // carries the workload/system pair, the side table the fault.
+    // carries the workload/system pair, the side tables the fault.
+    // Plans are per (kind, seed) — shared by that pair's cells across
+    // every system, so each fault is planned once, not once per cell.
     let mut cells = Vec::new();
     let mut specs = Vec::new();
+    let mut plans: Vec<Result<FaultPlan, AosError>> = Vec::new();
     for &kind in &config.kinds {
         for &seed in &config.seeds {
+            let spec = FaultSpec { kind, seed };
+            plans.push(plan_fault(
+                stream(&config.profile, config.scale),
+                layout,
+                spec,
+            ));
             for (si, &system) in config.systems.iter().enumerate() {
                 cells.push(CampaignCell {
                     profile: config.profile,
                     sut: SystemUnderTest::scaled(system, config.scale),
                 });
-                specs.push((FaultSpec { kind, seed }, si));
+                specs.push((spec, si));
             }
         }
     }
 
-    // Each injection error is reported through the cell's Failed
-    // outcome (via panic + catch_unwind) instead of aborting the
-    // sweep; descriptions are collected for the oracle.
-    let descriptions: Arc<Mutex<Vec<Option<String>>>> =
-        Arc::new(Mutex::new(vec![None; cells.len()]));
+    // A failed plan is reported through its cells' Failed outcome
+    // (via panic + catch_unwind) instead of aborting the sweep.
+    let plans = Arc::new(plans);
+    let systems_per_plan = config.systems.len();
     let runner = {
-        let trace = Arc::new(trace);
-        let specs = specs.clone();
-        let descriptions = Arc::clone(&descriptions);
-        Arc::new(move |index: usize, cell: &CampaignCell| {
-            let (spec, _) = specs[index];
-            let injection = match inject(&trace, layout, spec) {
-                Ok(injection) => injection,
+        let plans = Arc::clone(&plans);
+        Arc::new(move |index: usize, cell: &CampaignCell| -> CellOutput {
+            let plan = match &plans[index / systems_per_plan] {
+                Ok(plan) => plan,
                 Err(e) => panic!("{e}"),
             };
-            descriptions.lock().expect("description table poisoned")[index] =
-                Some(injection.description);
-            Machine::new(cell.sut.machine_config()).run(injection.ops)
+            let mut faulty = plan
+                .apply(TraceGenerator::new(
+                    &cell.profile,
+                    SafetyConfig::Aos,
+                    cell.sut.scale,
+                ))
+                .metered();
+            let stats = Machine::new(cell.sut.machine_config()).run(&mut faulty);
+            CellOutput {
+                stats,
+                trace_ops: faulty.ops(),
+                peak_trace_bytes: faulty.peak_buffered_ops() as u64
+                    * std::mem::size_of::<Op>() as u64,
+            }
         })
     };
 
     let mut report = run_campaign_custom(&cells, &config.options, &|_| {}, runner);
 
     let mut matrix = TrialMatrix::default();
-    let descriptions = descriptions.lock().expect("description table poisoned");
     for (index, result) in report.results.iter().enumerate() {
         let (spec, si) = specs[index];
         if let Some(stats) = result.stats() {
@@ -135,9 +155,10 @@ pub fn run_fault_campaign(config: &FaultCampaignConfig) -> Result<FaultCampaignO
                 system: config.systems[si],
                 clean_violations: clean_violations[si],
                 faulty_violations: stats.violations,
-                description: descriptions[index]
-                    .clone()
-                    .unwrap_or_else(|| "<no description recorded>".to_string()),
+                description: plans[index / systems_per_plan]
+                    .as_ref()
+                    .map(|p| p.description.clone())
+                    .unwrap_or_else(|_| "<no description recorded>".to_string()),
             });
         }
     }
@@ -168,6 +189,14 @@ mod tests {
         let json = outcome.report.to_json();
         assert!(json.contains("\"fault_detection\": {\"trials\": 24,"));
         assert!(json.contains("\"schema\": \"aos-campaign-report/v2\""));
+        // Every cell streamed: ops were metered and the pipeline never
+        // held more than a window of trace (the clean trace here is
+        // tens of thousands of ops).
+        for r in &outcome.report.results {
+            assert!(r.trace_ops() > 10_000, "{}", r.cell.label());
+            let peak_ops = r.peak_trace_bytes() / std::mem::size_of::<Op>() as u64;
+            assert!(peak_ops > 0 && peak_ops < 1024, "peak {peak_ops} ops");
+        }
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //! stream silently. This crate turns that claim into a measurable,
 //! regression-testable artifact:
 //!
-//! - [`inject`] transforms a [`TraceGenerator`](aos_workloads::TraceGenerator)
-//!   trace by splicing in one seeded fault (see [`FaultKind`]);
-//! - [`oracle`] replays clean and faulted traces through
+//! - [`inject::plan_fault`] scans a
+//!   [`TraceGenerator`](aos_workloads::TraceGenerator) stream once in
+//!   `O(window)` memory and plans one seeded fault (see
+//!   [`FaultKind`]); [`FaultPlan::apply`](inject::FaultPlan::apply)
+//!   splices it into a fresh stream without materializing the trace;
+//! - [`oracle`] replays clean and faulted streams through
 //!   [`Machine`](aos_sim::Machine) configurations and classifies each
 //!   trial as detected / missed / false positive;
 //! - [`corrupt`] models physical bounds-record corruption (bit flips,
@@ -28,5 +31,8 @@ pub mod inject;
 pub mod oracle;
 
 pub use campaign::{run_fault_campaign, FaultCampaignConfig, FaultCampaignOutcome};
-pub use inject::{inject, FaultKind, FaultSpec, Injection};
+pub use inject::{
+    inject, plan_fault, FaultAction, FaultKind, FaultPlan, FaultSpec, FaultStream, Injection,
+    UAF_DELAY_OPS,
+};
 pub use oracle::{run_trial, FaultTrial, TrialMatrix, Verdict};

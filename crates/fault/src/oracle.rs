@@ -15,7 +15,7 @@ use aos_sim::Machine;
 use aos_util::AosError;
 use aos_workloads::{TraceGenerator, WorkloadProfile};
 
-use crate::inject::{inject, FaultSpec};
+use crate::inject::{plan_fault, FaultSpec};
 
 /// The oracle's classification of one trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,9 +67,10 @@ impl FaultTrial {
     }
 }
 
-/// Runs one fault trial: generates the AOS-instrumented trace for
-/// `profile`, injects `spec`, and replays both the clean and the
-/// faulted stream on the machine `sut` describes.
+/// Runs one fault trial: plans `spec` against the AOS-instrumented
+/// trace for `profile`, then replays both the clean and the faulted
+/// *stream* on the machine `sut` describes — three passes of the
+/// deterministic generator, zero materialized traces.
 ///
 /// The trace is always instrumented with [`SafetyConfig::Aos`] so
 /// every fault class has an anchor; whether the *machine* acts on the
@@ -81,16 +82,16 @@ pub fn run_trial(
     sut: &SystemUnderTest,
     spec: FaultSpec,
 ) -> Result<FaultTrial, AosError> {
-    let trace: Vec<_> = TraceGenerator::new(profile, SafetyConfig::Aos, sut.scale).collect();
-    let injection = inject(&trace, PointerLayout::default(), spec)?;
-    let clean = Machine::new(sut.machine_config()).run(trace);
-    let faulty = Machine::new(sut.machine_config()).run(injection.ops);
+    let stream = || TraceGenerator::new(profile, SafetyConfig::Aos, sut.scale);
+    let plan = plan_fault(stream(), PointerLayout::default(), spec)?;
+    let clean = Machine::new(sut.machine_config()).run(stream());
+    let faulty = Machine::new(sut.machine_config()).run(plan.apply(stream()));
     Ok(FaultTrial {
         spec,
         system: sut.safety,
         clean_violations: clean.violations,
         faulty_violations: faulty.violations,
-        description: injection.description,
+        description: plan.description,
     })
 }
 

@@ -27,6 +27,7 @@ pub mod codec;
 pub mod expand;
 mod mix;
 mod op;
+pub mod stream;
 pub mod watchdog;
 
 pub use mix::InstMix;

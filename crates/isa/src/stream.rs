@@ -1,0 +1,400 @@
+//! Streaming op-pipeline adapters: compose trace producers,
+//! transformers and consumers without ever materializing a `Vec<Op>`.
+//!
+//! The paper's claim is *always-on* enforcement over 3-billion-
+//! instruction SPEC windows; a pipeline that collects every trace into
+//! memory caps the window it can afford at `O(trace)` RSS per worker.
+//! Everything in this module is `O(window)`: an [`OpStream`] is any
+//! `Iterator<Item = Op>`, and the adapters below buffer at most a
+//! fixed number of ops regardless of trace length —
+//!
+//! - [`InsertAt`] / [`ReplaceAt`] — positional single-op splices
+//!   (the streaming form of the fault injectors' trace rewrites);
+//! - [`Lookahead`] — a bounded lookahead window over a stream, used
+//!   by the use-after-free planner that must prove no same-PAC
+//!   reallocation lands inside the ROB-sized retirement window;
+//! - [`Metered`] — transparent op counting plus the
+//!   [`BufferedOps`] high-water mark, which is how the campaign
+//!   report's `peak_trace_bytes` column is measured rather than
+//!   asserted.
+//!
+//! # Examples
+//!
+//! ```
+//! use aos_isa::stream::{BufferedOps, OpStream};
+//! use aos_isa::Op;
+//!
+//! // Splice one op into a stream at index 2, without collecting it.
+//! let base = std::iter::repeat(Op::IntAlu).take(4);
+//! let spliced: Vec<Op> = base.insert_at(2, Op::FpAlu).collect();
+//! assert_eq!(spliced.len(), 5);
+//! assert_eq!(spliced[2], Op::FpAlu);
+//!
+//! // Meter a stream while a consumer drains it.
+//! let mut stream = std::iter::repeat(Op::IntAlu).take(1000).metered();
+//! for _op in &mut stream {}
+//! assert_eq!(stream.ops(), 1000);
+//! assert_eq!(stream.peak_buffered_ops(), 0, "a plain iterator buffers nothing");
+//! ```
+
+use std::collections::VecDeque;
+
+use crate::Op;
+
+/// A stream component that buffers ops internally and can report its
+/// high-water mark — the measurable `O(window)` memory proof for the
+/// streaming pipeline. A component that holds no ops reports 0.
+pub trait BufferedOps {
+    /// The maximum number of ops this component (including anything it
+    /// wraps) has held buffered at any point so far.
+    fn peak_buffered_ops(&self) -> usize;
+}
+
+/// The streaming trace vocabulary: any iterator over [`Op`]s, plus the
+/// adapter combinators of this module. Blanket-implemented, so every
+/// producer — a `TraceGenerator`, a decoded trace file, a `Vec` being
+/// drained — composes for free.
+pub trait OpStream: Iterator<Item = Op> {
+    /// Splices `op` into the stream so it is yielded at index `at`
+    /// (everything from `at` onward shifts one position later). An
+    /// `at` beyond the end of the stream appends the op.
+    fn insert_at(self, at: usize, op: Op) -> InsertAt<Self>
+    where
+        Self: Sized,
+    {
+        InsertAt {
+            inner: self,
+            at,
+            op: Some(op),
+            index: 0,
+        }
+    }
+
+    /// Replaces the op at index `at` with `op`, preserving stream
+    /// length. A stream shorter than `at` is passed through unchanged.
+    fn replace_at(self, at: usize, op: Op) -> ReplaceAt<Self>
+    where
+        Self: Sized,
+    {
+        ReplaceAt {
+            inner: self,
+            at,
+            op: Some(op),
+            index: 0,
+        }
+    }
+
+    /// Counts the ops that flow through, transparently.
+    fn metered(self) -> Metered<Self>
+    where
+        Self: Sized,
+    {
+        Metered {
+            inner: self,
+            emitted: 0,
+        }
+    }
+}
+
+impl<I: Iterator<Item = Op>> OpStream for I {}
+
+/// Yields the wrapped stream with one extra op spliced in at a fixed
+/// index. See [`OpStream::insert_at`]. Buffers exactly one op.
+#[derive(Debug, Clone)]
+pub struct InsertAt<I> {
+    inner: I,
+    at: usize,
+    op: Option<Op>,
+    index: usize,
+}
+
+impl<I> InsertAt<I> {
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &I {
+        &self.inner
+    }
+}
+
+impl<I: Iterator<Item = Op>> Iterator for InsertAt<I> {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if self.index == self.at {
+            if let Some(op) = self.op.take() {
+                self.index += 1;
+                return Some(op);
+            }
+        }
+        match self.inner.next() {
+            Some(op) => {
+                self.index += 1;
+                Some(op)
+            }
+            // The splice point lies at (or past) the end: append.
+            None => self.op.take().inspect(|_| self.index += 1),
+        }
+    }
+}
+
+impl<I: BufferedOps> BufferedOps for InsertAt<I> {
+    fn peak_buffered_ops(&self) -> usize {
+        // The pending splice op is this adapter's entire buffer.
+        self.inner.peak_buffered_ops() + 1
+    }
+}
+
+/// Yields the wrapped stream with the op at one fixed index swapped
+/// out. See [`OpStream::replace_at`]. Buffers exactly one op.
+#[derive(Debug, Clone)]
+pub struct ReplaceAt<I> {
+    inner: I,
+    at: usize,
+    op: Option<Op>,
+    index: usize,
+}
+
+impl<I> ReplaceAt<I> {
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &I {
+        &self.inner
+    }
+}
+
+impl<I: Iterator<Item = Op>> Iterator for ReplaceAt<I> {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        let op = self.inner.next()?;
+        let index = self.index;
+        self.index += 1;
+        if index == self.at {
+            if let Some(replacement) = self.op.take() {
+                return Some(replacement);
+            }
+        }
+        Some(op)
+    }
+}
+
+impl<I: BufferedOps> BufferedOps for ReplaceAt<I> {
+    fn peak_buffered_ops(&self) -> usize {
+        self.inner.peak_buffered_ops() + 1
+    }
+}
+
+/// Transparent op counter; composes with [`BufferedOps`] so a consumer
+/// can drain a stream through `&mut` and read both the op count and
+/// the pipeline's peak buffer afterwards.
+#[derive(Debug, Clone)]
+pub struct Metered<I> {
+    inner: I,
+    emitted: u64,
+}
+
+impl<I> Metered<I> {
+    /// Ops yielded so far.
+    pub fn ops(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &I {
+        &self.inner
+    }
+}
+
+impl<I: Iterator<Item = Op>> Iterator for Metered<I> {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        let op = self.inner.next()?;
+        self.emitted += 1;
+        Some(op)
+    }
+}
+
+impl<I: BufferedOps> BufferedOps for Metered<I> {
+    fn peak_buffered_ops(&self) -> usize {
+        self.inner.peak_buffered_ops()
+    }
+}
+
+/// Iterators with no internal storage (slices being copied, ranges,
+/// repeat/take chains) buffer nothing. This blanket-free impl covers
+/// the common leaf producers used in tests and doc examples.
+impl<'a, T: Iterator<Item = &'a Op>> BufferedOps for std::iter::Copied<T> {
+    fn peak_buffered_ops(&self) -> usize {
+        0
+    }
+}
+
+impl<I> BufferedOps for std::iter::Take<I> {
+    fn peak_buffered_ops(&self) -> usize {
+        0
+    }
+}
+
+impl<T> BufferedOps for std::iter::Repeat<T> {
+    fn peak_buffered_ops(&self) -> usize {
+        0
+    }
+}
+
+/// A bounded lookahead window over an op stream.
+///
+/// [`Lookahead::next_op`] yields `(index, op)` pairs in order; after a
+/// yield, [`Lookahead::window`] exposes up to `window` *following*
+/// ops — exactly `trace[i + 1 ..= i + window]`, truncated at the end
+/// of the stream. The buffer never holds more than `window + 1` ops,
+/// so scanning a trace for anchors is `O(window)` memory no matter how
+/// long the trace runs.
+#[derive(Debug)]
+pub struct Lookahead<I: Iterator<Item = Op>> {
+    inner: I,
+    buf: VecDeque<Op>,
+    window: usize,
+    index: usize,
+    peak: usize,
+    exhausted: bool,
+}
+
+impl<I: Iterator<Item = Op>> Lookahead<I> {
+    /// Wraps `inner` with a lookahead of `window` ops.
+    pub fn new(inner: I, window: usize) -> Self {
+        Self {
+            inner,
+            buf: VecDeque::with_capacity(window + 1),
+            window,
+            index: 0,
+            peak: 0,
+            exhausted: false,
+        }
+    }
+
+    fn fill(&mut self) {
+        while !self.exhausted && self.buf.len() < self.window + 1 {
+            match self.inner.next() {
+                Some(op) => self.buf.push_back(op),
+                None => self.exhausted = true,
+            }
+        }
+        self.peak = self.peak.max(self.buf.len());
+    }
+
+    /// The next op and its stream index, or `None` at end of stream.
+    pub fn next_op(&mut self) -> Option<(usize, Op)> {
+        self.fill();
+        let op = self.buf.pop_front()?;
+        let index = self.index;
+        self.index += 1;
+        Some((index, op))
+    }
+
+    /// The buffered lookahead: the ops that *follow* the one most
+    /// recently yielded by [`Lookahead::next_op`], in stream order.
+    pub fn window(&self) -> impl Iterator<Item = &Op> {
+        self.buf.iter()
+    }
+
+    /// Ops consumed from the underlying stream so far (the total
+    /// stream length once `next_op` has returned `None`).
+    pub fn consumed(&self) -> usize {
+        self.index
+    }
+}
+
+impl<I: Iterator<Item = Op>> BufferedOps for Lookahead<I> {
+    fn peak_buffered_ops(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(n: usize) -> std::iter::Take<std::iter::Repeat<Op>> {
+        std::iter::repeat(Op::IntAlu).take(n)
+    }
+
+    #[test]
+    fn insert_at_matches_vec_splice() {
+        for at in [0usize, 1, 3, 7, 8] {
+            let streamed: Vec<Op> = ints(8).insert_at(at, Op::FpAlu).collect();
+            let mut expected: Vec<Op> = ints(8).collect();
+            expected.insert(at.min(8), Op::FpAlu);
+            assert_eq!(streamed, expected, "at {at}");
+        }
+    }
+
+    #[test]
+    fn insert_past_the_end_appends() {
+        let streamed: Vec<Op> = ints(3).insert_at(100, Op::FpAlu).collect();
+        assert_eq!(streamed.len(), 4);
+        assert_eq!(streamed[3], Op::FpAlu);
+    }
+
+    #[test]
+    fn replace_at_swaps_exactly_one_op() {
+        let streamed: Vec<Op> = ints(5).replace_at(2, Op::IntMul).collect();
+        assert_eq!(streamed.len(), 5);
+        assert_eq!(streamed[2], Op::IntMul);
+        assert!(streamed.iter().filter(|o| **o == Op::IntMul).count() == 1);
+        // Replacement index past the end: pass-through.
+        let unchanged: Vec<Op> = ints(3).replace_at(9, Op::IntMul).collect();
+        assert_eq!(unchanged, ints(3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn metered_counts_without_reordering() {
+        let mut stream = ints(257).metered();
+        let drained: Vec<Op> = (&mut stream).collect();
+        assert_eq!(drained.len(), 257);
+        assert_eq!(stream.ops(), 257);
+    }
+
+    #[test]
+    fn lookahead_window_is_the_following_ops() {
+        let trace: Vec<Op> = (0..10)
+            .map(|i| Op::Load {
+                pointer: i,
+                bytes: 8,
+                chained: false,
+            })
+            .collect();
+        let mut look = Lookahead::new(trace.iter().copied(), 3);
+        let (i, op) = look.next_op().unwrap();
+        assert_eq!(i, 0);
+        assert_eq!(op, trace[0]);
+        let window: Vec<Op> = look.window().copied().collect();
+        assert_eq!(window, trace[1..4], "window is trace[i+1 ..= i+3]");
+        // Drain; the window truncates near the end instead of stalling.
+        let mut last = 0;
+        while let Some((i, _)) = look.next_op() {
+            last = i;
+            assert!(look.window().count() <= 3);
+        }
+        assert_eq!(last, 9);
+        assert_eq!(look.consumed(), 10);
+    }
+
+    #[test]
+    fn lookahead_buffer_is_bounded_by_window() {
+        let mut look = Lookahead::new(ints(100_000), 256);
+        while look.next_op().is_some() {}
+        assert_eq!(look.consumed(), 100_000);
+        assert!(
+            look.peak_buffered_ops() <= 257,
+            "peak {} exceeds the 256-op window",
+            look.peak_buffered_ops()
+        );
+    }
+
+    #[test]
+    fn adapters_report_their_buffering() {
+        let inserted = ints(4).insert_at(1, Op::FpAlu);
+        assert_eq!(inserted.peak_buffered_ops(), 1);
+        let metered = ints(4).metered();
+        assert_eq!(metered.peak_buffered_ops(), 0);
+    }
+}

@@ -55,16 +55,28 @@ struct LiveChunk {
 
 /// The generator; see the [module docs](self).
 ///
+/// A `TraceGenerator` is an [`OpStream`](aos_isa::stream::OpStream):
+/// feed it to a consumer directly instead of collecting it — the whole
+/// pipeline then runs in `O(window)` memory, never materializing the
+/// trace. It also implements
+/// [`BufferedOps`](aos_isa::stream::BufferedOps), reporting the
+/// high-water mark of its internal event buffer (a handful of ops —
+/// one program event plus its instrumentation).
+///
 /// # Examples
 ///
 /// ```
+/// use aos_isa::stream::OpStream;
 /// use aos_isa::SafetyConfig;
 /// use aos_workloads::{generator::TraceGenerator, profile};
 ///
 /// let p = profile::by_name("hmmer").unwrap();
-/// let aos: Vec<_> = TraceGenerator::new(p, SafetyConfig::Aos, 0.005).collect();
-/// let base: Vec<_> = TraceGenerator::new(p, SafetyConfig::Baseline, 0.005).collect();
-/// assert!(aos.len() > base.len(), "instrumentation rides along");
+/// // Stream, don't collect: count ops as they flow past.
+/// let mut aos = TraceGenerator::new(p, SafetyConfig::Aos, 0.005).metered();
+/// let mut base = TraceGenerator::new(p, SafetyConfig::Baseline, 0.005).metered();
+/// for _ in &mut aos {}
+/// for _ in &mut base {}
+/// assert!(aos.ops() > base.ops(), "instrumentation rides along");
 /// ```
 pub struct TraceGenerator {
     profile: WorkloadProfile,
@@ -76,6 +88,9 @@ pub struct TraceGenerator {
     zipf: Zipf,
     sizes: DiscreteTable<u64>,
     buffer: VecDeque<Op>,
+    /// High-water mark of `buffer` — the generator's entire trace
+    /// footprint, measured not asserted.
+    peak_buffered: usize,
     base_ops: u64,
     target_base_ops: u64,
     startup_remaining: u64,
@@ -121,6 +136,7 @@ impl TraceGenerator {
             zipf: Zipf::new(profile.hot_chunks.max(1), profile.zipf_exponent),
             sizes: DiscreteTable::new(profile.alloc_sizes.to_vec()),
             buffer: VecDeque::new(),
+            peak_buffered: 0,
             base_ops: 0,
             target_base_ops: ((profile.window_instructions as f64 * scale) as u64).max(1),
             startup_remaining: (profile.startup_allocations as f64 * scale).ceil() as u64,
@@ -154,6 +170,13 @@ impl TraceGenerator {
     /// Live heap chunks right now.
     pub fn live_chunks(&self) -> usize {
         self.live.len()
+    }
+
+    /// The most ops the internal event buffer has ever held — the
+    /// generator's peak trace memory in ops (one program event plus
+    /// its instrumentation, not the trace).
+    pub fn peak_buffered_ops(&self) -> usize {
+        self.peak_buffered
     }
 
     fn push_base(&mut self, op: Op) {
@@ -427,7 +450,14 @@ impl Iterator for TraceGenerator {
                 return None;
             }
             self.generate_event();
+            self.peak_buffered = self.peak_buffered.max(self.buffer.len());
         }
+    }
+}
+
+impl aos_isa::stream::BufferedOps for TraceGenerator {
+    fn peak_buffered_ops(&self) -> usize {
+        self.peak_buffered
     }
 }
 

@@ -29,12 +29,16 @@
 //! # Examples
 //!
 //! ```
+//! use aos_isa::stream::OpStream;
 //! use aos_isa::SafetyConfig;
 //! use aos_workloads::{generator::TraceGenerator, profile};
 //!
 //! let p = profile::by_name("mcf").unwrap();
-//! let ops: Vec<_> = TraceGenerator::new(p, SafetyConfig::Aos, 0.01).collect();
-//! assert!(!ops.is_empty());
+//! // A generator is an op *stream*: drain it through a meter instead
+//! // of collecting it, and the trace is never materialized.
+//! let mut ops = TraceGenerator::new(p, SafetyConfig::Aos, 0.01).metered();
+//! for _ in &mut ops {}
+//! assert!(ops.ops() > 0);
 //! ```
 
 pub mod collisions;

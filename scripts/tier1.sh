@@ -22,12 +22,15 @@ echo "== tier-1: fault-injection smoke (strict) =="
 # with zero false positives — nonzero exit otherwise.
 cargo run -q --release -p aos-cli -- faults --seeds 2 --strict true
 
-# Hardened crates must not grow new unwrap() on input-reachable paths.
+# Hardened crates must not grow new unwrap() on input-reachable paths,
+# and the streaming pipeline must not regress into collect-then-iterate
+# (needless_collect re-materializes traces the refactor made lazy).
 # The gate is advisory when clippy is not installed (offline image).
 if command -v cargo-clippy >/dev/null 2>&1; then
-    echo "== tier-1: clippy unwrap gate (hardened crates) =="
+    echo "== tier-1: clippy unwrap + needless-collect gate (hardened crates) =="
     for crate in aos-util aos-heap aos-mcu aos-hbt aos-isa aos-core aos-fault; do
-        cargo clippy -q -p "$crate" --no-deps -- -D clippy::unwrap_used
+        cargo clippy -q -p "$crate" --no-deps -- \
+            -D clippy::unwrap_used -D clippy::needless_collect
     done
 else
     echo "== tier-1: clippy not installed, skipping unwrap gate =="
@@ -37,6 +40,15 @@ if [[ "${1:-}" == "--with-smoke" ]]; then
     echo "== campaign smoke: SPEC2006 x 5 systems, scaled =="
     cargo run -q --release -p aos-bench --bin campaign_smoke -- \
         --scale 0.01 --out BENCH_campaign.json
+    # Streaming smoke: a 10x-longer window than the default smoke run.
+    # Viable in CI memory precisely because no cell materializes its
+    # trace — peak buffered trace stays O(window) per worker.
+    echo "== streaming smoke: campaign at 10x window scale =="
+    cargo run -q --release -p aos-bench --bin campaign_smoke -- \
+        --scale 0.1 --out BENCH_campaign_long.json
+    echo "== streaming bench: materialized-vs-streaming pipeline =="
+    cargo run -q --release -p aos-bench --bin streaming_bench -- \
+        --scale 0.02 --out BENCH_streaming.json
 fi
 
 echo "tier-1 OK"
