@@ -1,9 +1,10 @@
 //! The canonical, dependency-free throughput artifact: runs a scaled
 //! Fig. 14 campaign (`SPEC2006 × {Baseline..PA+AOS}`) through the
 //! parallel campaign runner and writes `BENCH_campaign.json`
-//! (schema `aos-campaign-report/v2`: campaign wall-clock, cells/sec,
-//! cell-health counters, per-cell status, sim-cycles/sec, and the
-//! streaming-pipeline columns `trace_ops`, `ops_per_sec` and
+//! (schema `aos-campaign-report/v3`: campaign wall-clock, cells/sec,
+//! cell-health counters, per-cell status, sim-cycles/sec, per-cell
+//! telemetry counter columns, and the streaming-pipeline columns
+//! `trace_ops`, `ops_per_sec` and
 //! `peak_trace_bytes`). Because every worker streams its generator
 //! straight into the machine, `--scale` can be raised ~10× over the
 //! old materialized default without memory growth: peak trace bytes
@@ -23,6 +24,7 @@ use aos_core::experiment::campaign::{
 use aos_core::experiment::SystemUnderTest;
 use aos_core::isa::SafetyConfig;
 use aos_core::workloads::profile::SPEC2006;
+use aos_util::{Counter, Gauge};
 
 fn arg_value(argv: &[String], flag: &str) -> Option<String> {
     argv.iter()
@@ -39,7 +41,7 @@ fn main() {
 
     let cells = matrix(
         SPEC2006.iter().copied(),
-        SafetyConfig::ALL.map(|s| SystemUnderTest::scaled(s, scale)),
+        SafetyConfig::ALL.map(|s| SystemUnderTest::scaled(s, scale).with_telemetry(true)),
     );
     println!(
         "campaign: {} cells (SPEC2006 x 5 systems) at scale {scale}",
@@ -81,6 +83,16 @@ fn main() {
         "streaming: {total_ops} trace ops ({:.0} ops/sec aggregate), \
          peak trace buffer {peak_trace} bytes per cell",
         total_ops as f64 / report.wall.as_secs_f64().max(1e-12),
+    );
+    let telemetry = report.telemetry();
+    println!(
+        "telemetry: bwb hit rate {:.2}%, mcq replays {}, forwards {}, \
+         peak occupancy {}, hbt migration rows {}",
+        telemetry.bwb_hit_rate() * 100.0,
+        telemetry.counter(Counter::McqReplays),
+        telemetry.counter(Counter::McqForwards),
+        telemetry.gauge(Gauge::McqPeakOccupancy),
+        telemetry.counter(Counter::HbtMigrationRows),
     );
     match report.write_json(&out_path) {
         Ok(()) => println!("report written to {out_path}"),

@@ -8,10 +8,12 @@
 //! - **streaming**: feed the generator straight into the machine
 //!   through a meter (the new shape);
 //!
-//! — checks the `RunStats` are bit-identical, and writes
-//! `BENCH_streaming.json` with ops/sec and peak trace bytes for both
-//! shapes. The peak column is the point: materialized peaks at the
-//! full trace, streaming at the generator's event buffer.
+//! — checks the `RunStats` (telemetry snapshot included) are
+//! bit-identical, and writes `BENCH_streaming.json` with ops/sec and
+//! peak trace bytes for both shapes. The peak column is the point:
+//! materialized peaks at the full trace, streaming at the generator's
+//! event buffer. Each run records pipeline telemetry, and the headline
+//! rates (BWB hit rate, MCQ replays/forwards) are printed at the end.
 //!
 //! ```text
 //! cargo run --release -p aos-bench --bin streaming_bench -- \
@@ -26,6 +28,7 @@ use aos_core::isa::stream::{BufferedOps, OpStream};
 use aos_core::isa::{Op, SafetyConfig};
 use aos_core::sim::Machine;
 use aos_core::workloads::{profile, TraceGenerator};
+use aos_util::{Counter, Gauge, TelemetrySnapshot};
 
 const WORKLOADS: [&str; 4] = ["hmmer", "gcc", "mcf", "omnetpp"];
 
@@ -50,13 +53,14 @@ fn main() {
     let op_bytes = std::mem::size_of::<Op>() as u64;
 
     let mut rows = String::new();
+    let mut telemetry = TelemetrySnapshot::default();
     println!(
         "{:<12} {:>12} {:>14} {:>14} {:>16} {:>16}",
         "workload", "trace ops", "mat ops/s", "str ops/s", "mat peak bytes", "str peak bytes"
     );
     for (w, name) in WORKLOADS.iter().enumerate() {
         let p = profile::by_name(name).expect("known workload");
-        let sut = SystemUnderTest::scaled(SafetyConfig::Aos, scale);
+        let sut = SystemUnderTest::scaled(SafetyConfig::Aos, scale).with_telemetry(true);
 
         // Materialized: the whole trace lives in memory at once.
         let start = Instant::now();
@@ -86,7 +90,12 @@ fn main() {
             mat_stats, str_stats,
             "{name}: streaming changed the simulation"
         );
+        assert_eq!(
+            mat_stats.telemetry, str_stats.telemetry,
+            "{name}: streaming changed the telemetry snapshot"
+        );
         assert_eq!(mat.trace_ops, str_.trace_ops, "{name}: op count diverged");
+        telemetry.merge(&str_stats.telemetry);
 
         println!(
             "{:<12} {:>12} {:>14.0} {:>14.0} {:>16} {:>16}",
@@ -107,6 +116,17 @@ fn main() {
             if w + 1 < WORKLOADS.len() { "," } else { "" },
         );
     }
+
+    println!(
+        "\ntelemetry: bwb hit rate {:.2}% ({} hits / {} lookups), \
+         mcq replays {}, forwards {}, peak occupancy {}",
+        telemetry.bwb_hit_rate() * 100.0,
+        telemetry.counter(Counter::BwbHits),
+        telemetry.counter(Counter::BwbHits) + telemetry.counter(Counter::BwbMisses),
+        telemetry.counter(Counter::McqReplays),
+        telemetry.counter(Counter::McqForwards),
+        telemetry.gauge(Gauge::McqPeakOccupancy),
+    );
 
     let json = format!(
         "{{\n  \"schema\": \"aos-streaming-bench/v1\",\n  \"scale\": {scale},\n  \

@@ -11,6 +11,7 @@ use aos_core::workloads::microbench::pac_distribution;
 use aos_core::workloads::profile::{self, REAL_WORLD, SPEC2006};
 use aos_fault::campaign::FaultCampaignConfig;
 use aos_fault::{run_fault_campaign, FaultKind};
+use aos_util::{Counter, Gauge};
 
 use crate::args::{scale_or, Parsed};
 
@@ -18,6 +19,12 @@ use crate::args::{scale_or, Parsed};
 /// string-error convention.
 fn scale(parsed: &Parsed) -> Result<f64, String> {
     crate::args::scale(parsed).map_err(|e| e.to_string())
+}
+
+/// The CLI's boolean-flag convention: present (and not literally
+/// `false`) means on. Used by `--json` and `--telemetry`.
+fn bool_flag(parsed: &Parsed, name: &str) -> bool {
+    parsed.flag(name).is_some_and(|v| v != "false")
 }
 
 /// The usage text.
@@ -28,9 +35,17 @@ aos — the AOS (MICRO 2020) reproduction
 USAGE:
   aos attacks                               stage the §VII attack gallery
   aos run <workload> [--system <s>] [--scale <f>] [--json]
-                                            run one workload on one system
-  aos compare <workload> [--scale <f>] [--threads <n>]
+         [--telemetry true]                 run one workload on one system
+  aos compare <workload> [--scale <f>] [--threads <n>] [--telemetry true]
                                             all five systems, normalized
+  aos stats [--workload <w>] [--system <s>] [--scale <f>]
+            [--threads <n>] [--json true]
+                                            run a small telemetry-enabled
+                                            campaign and print the merged
+                                            pipeline counters (BWB hit
+                                            rate, MCQ occupancy/replays,
+                                            HBT migration) as a table or
+                                            JSON
   aos campaign [--suite spec2006|realworld|all] [--scale <f>]
                [--threads <n>] [--out <path>]
                                             run the full workload x system
@@ -38,7 +53,7 @@ USAGE:
                                             JSON report
   aos faults [--workload <w>] [--scale <f>] [--seeds <n>]
              [--kinds <k1,k2,..>] [--threads <n>] [--out <path>]
-             [--strict true]
+             [--strict true] [--telemetry true]
                                             fault-injection sweep: inject
                                             seeded overflow/underflow/UAF/
                                             double-free/PAC/AHC faults,
@@ -144,9 +159,18 @@ fn run_cmd_impl(parsed: &Parsed) -> Result<(), String> {
     let workload = find_workload(name)?;
     let system = parse_system(parsed.flag("system").unwrap_or("aos"))?;
     let scale = scale(parsed)?;
-    let stats = run_experiment(workload, &SystemUnderTest::scaled(system, scale));
-    if parsed.flag("json").is_some_and(|v| v != "false") {
-        println!("{}", stats_json(name, system, &stats));
+    let telemetry = bool_flag(parsed, "telemetry");
+    let stats = run_experiment(
+        workload,
+        &SystemUnderTest::scaled(system, scale).with_telemetry(telemetry),
+    );
+    if bool_flag(parsed, "json") {
+        let mut json = stats_json(name, system, &stats);
+        if telemetry {
+            json.pop();
+            json.push_str(&format!(",\"telemetry\": {}}}", stats.telemetry.to_json("")));
+        }
+        println!("{json}");
         return Ok(());
     }
     println!("== {name} on {system} @ scale {scale} ==");
@@ -164,6 +188,10 @@ fn run_cmd_impl(parsed: &Parsed) -> Result<(), String> {
         println!("HBT resizes      {:>14}", stats.hbt_resizes);
     }
     println!("violations       {:>14}", stats.violations);
+    if telemetry {
+        println!();
+        print!("{}", stats.telemetry.to_table());
+    }
     Ok(())
 }
 
@@ -197,12 +225,13 @@ pub fn compare(args: &[String]) -> Result<(), String> {
     let workload = find_workload(name)?;
     let scale = scale(&parsed)?;
     let options = campaign_options(&parsed)?;
+    let telemetry = bool_flag(&parsed, "telemetry");
     // The five systems are one campaign: they run in parallel and
     // `SafetyConfig::ALL` puts Baseline first, so `results[0]` is the
     // normalization row.
     let cells = matrix(
         [*workload],
-        SafetyConfig::ALL.map(|s| SystemUnderTest::scaled(s, scale)),
+        SafetyConfig::ALL.map(|s| SystemUnderTest::scaled(s, scale).with_telemetry(telemetry)),
     );
     let report = run_campaign(&cells, &options);
     let baseline = report.results[0]
@@ -232,6 +261,67 @@ pub fn compare(args: &[String]) -> Result<(), String> {
             ),
         }
     }
+    if telemetry {
+        println!("\naggregate over all five systems:");
+        print!("{}", report.telemetry().to_table());
+    }
+    Ok(())
+}
+
+/// `aos stats [--workload w] [--system s] [--scale f] [--threads n]
+/// [--json true]`: the telemetry surface. Runs a small campaign with
+/// pipeline telemetry enabled and prints the merged snapshot.
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let parsed = Parsed::parse(args)?;
+    // Telemetry campaigns exist to read counters, not to time the
+    // machine: default to a small window.
+    let scale = scale_or(&parsed, 0.01).map_err(|e| e.to_string())?;
+    let system = parse_system(parsed.flag("system").unwrap_or("aos"))?;
+    let options = campaign_options(&parsed)?;
+    let profiles: Vec<_> = match parsed.flag("workload") {
+        Some(name) => vec![*find_workload(name)?],
+        // The default campaign: the four workloads the streaming bench
+        // uses, a mix of allocation-heavy and check-heavy behaviour.
+        None => ["hmmer", "gcc", "mcf", "omnetpp"]
+            .iter()
+            .map(|n| *profile::by_name(n).expect("built-in workload"))
+            .collect(),
+    };
+    let cells = matrix(
+        profiles.iter().copied(),
+        [SystemUnderTest::scaled(system, scale).with_telemetry(true)],
+    );
+    let report = run_campaign(&cells, &options);
+    if report.failed() > 0 {
+        return Err(format!("{} cells failed", report.failed()));
+    }
+    let telemetry = report.telemetry();
+    let names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
+    if bool_flag(&parsed, "json") {
+        println!(
+            "{{\n  \"schema\": \"aos-stats/v1\",\n  \"system\": \"{system}\",\n  \
+             \"scale\": {scale},\n  \"workloads\": [{}],\n  \
+             \"bwb_hit_rate\": {:.4},\n  \"mcq_peak_occupancy\": {},\n  \
+             \"mcq_replays\": {},\n  \"hbt_migration_rows\": {},\n  \
+             \"telemetry\": {}\n}}",
+            names
+                .iter()
+                .map(|n| format!("\"{n}\""))
+                .collect::<Vec<_>>()
+                .join(", "),
+            telemetry.bwb_hit_rate(),
+            telemetry.gauge(Gauge::McqPeakOccupancy),
+            telemetry.counter(Counter::McqReplays),
+            telemetry.counter(Counter::HbtMigrationRows),
+            telemetry.to_json("  "),
+        );
+        return Ok(());
+    }
+    println!(
+        "== pipeline telemetry: {} on {system} @ scale {scale} ==",
+        names.join(", ")
+    );
+    print!("{}", telemetry.to_table());
     Ok(())
 }
 
@@ -299,11 +389,13 @@ pub fn faults(args: &[String]) -> Result<(), String> {
             .collect::<Result<Vec<_>, _>>()?,
     };
     let options = campaign_options(&parsed)?;
-    let strict = parsed.flag("strict").is_some_and(|v| v != "false");
+    let strict = bool_flag(&parsed, "strict");
+    let telemetry = bool_flag(&parsed, "telemetry");
 
     let config = FaultCampaignConfig {
         kinds,
         options,
+        telemetry,
         ..FaultCampaignConfig::standard(*workload, scale, (1..=seed_count).collect())
     };
     println!(
@@ -339,6 +431,10 @@ pub fn faults(args: &[String]) -> Result<(), String> {
         outcome.matrix.false_positives(),
         outcome.report.failed(),
     );
+    if telemetry {
+        println!("\naggregate over all faulted cells:");
+        print!("{}", outcome.report.telemetry().to_table());
+    }
     if let Some(out) = parsed.flag("out") {
         outcome
             .report

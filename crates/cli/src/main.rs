@@ -4,6 +4,7 @@
 //! aos attacks                          stage the §VII attack gallery
 //! aos run <workload> [options]         one workload on one system
 //! aos compare <workload> [--scale f]   all five systems, normalized
+//! aos stats [options]                  merged pipeline telemetry counters
 //! aos campaign [options]               parallel workload x system matrix
 //! aos faults [options]                 seeded fault-injection sweep
 //! aos table <1|2|3|4> [--scale f]      reproduce a paper table
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         "attacks" => commands::attacks(),
         "run" => commands::run(rest),
         "compare" => commands::compare(rest),
+        "stats" => commands::stats(rest),
         "campaign" => commands::campaign(rest),
         "faults" => commands::faults(rest),
         "table" => commands::table(rest),

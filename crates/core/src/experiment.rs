@@ -34,6 +34,10 @@ pub struct SystemUnderTest {
     pub forwarding: bool,
     /// Window scale in `(0, 1]`: 1.0 = the profile's full window.
     pub scale: f64,
+    /// Whether the machine records pipeline telemetry (the simulated
+    /// behaviour is identical either way; see
+    /// [`aos_util::telemetry`]).
+    pub telemetry: bool,
 }
 
 impl SystemUnderTest {
@@ -47,6 +51,7 @@ impl SystemUnderTest {
             bwb: true,
             forwarding: true,
             scale: 1.0,
+            telemetry: false,
         }
     }
 
@@ -56,6 +61,12 @@ impl SystemUnderTest {
             scale,
             ..Self::standard(safety)
         }
+    }
+
+    /// Same system with telemetry recording switched on or off.
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The machine configuration this system implies.
@@ -68,6 +79,7 @@ impl SystemUnderTest {
         };
         config.mcu.use_bwb = self.bwb;
         config.mcu.bounds_forwarding = self.forwarding;
+        config.telemetry = self.telemetry;
         config
     }
 }

@@ -4,8 +4,8 @@
 //! a cell list out across a scoped worker pool
 //! ([`aos_util::par::ordered_parallel_catch`]), returns per-cell
 //! [`CellResult`]s **in input order**, and renders a machine-readable
-//! JSON report (`aos-campaign-report/v2`) so perf trajectories can be
-//! tracked across PRs.
+//! JSON report (`aos-campaign-report/v3`, with per-cell telemetry
+//! counter columns) so perf trajectories can be tracked across PRs.
 //!
 //! Determinism: a cell's simulation consumes no shared mutable state
 //! (each worker builds its own [`TraceGenerator`] and [`Machine`]
@@ -299,6 +299,18 @@ impl CampaignReport {
             .sum()
     }
 
+    /// The campaign-level telemetry aggregate: every completed cell's
+    /// snapshot merged (counters summed, gauges peak-of-peaks).
+    pub fn telemetry(&self) -> aos_util::TelemetrySnapshot {
+        let mut merged = aos_util::TelemetrySnapshot::default();
+        for r in &self.results {
+            if let Some(stats) = r.stats() {
+                merged.merge(&stats.telemetry);
+            }
+        }
+        merged
+    }
+
     /// Cells that completed on the first attempt.
     pub fn completed(&self) -> usize {
         self.results
@@ -323,14 +335,17 @@ impl CampaignReport {
         self.annotations.push((key.into(), value.into()));
     }
 
-    /// The `aos-campaign-report/v2` JSON document (schema documented
-    /// in DESIGN.md): campaign wall-clock, cell-health counters and
-    /// cells/sec at the top, then one record per cell with its status,
-    /// attempts, wall-clock and (for completed cells) simulated cycles
-    /// per second. Failed cells carry the captured error instead.
+    /// The `aos-campaign-report/v3` JSON document (schema documented
+    /// in DESIGN.md §11 and pinned by `tests/report_schema_golden.rs`):
+    /// campaign wall-clock, cell-health counters and cells/sec at the
+    /// top, then one record per cell with its status, attempts,
+    /// wall-clock, (for completed cells) simulated cycles per second
+    /// and the cell's telemetry counters — always present, all-zero
+    /// when the cell ran with telemetry disabled, so consumers see a
+    /// stable shape. Failed cells carry the captured error instead.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"aos-campaign-report/v2\",\n");
+        out.push_str("  \"schema\": \"aos-campaign-report/v3\",\n");
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"cells\": {},\n", self.results.len()));
         out.push_str(&format!("  \"completed\": {},\n", self.completed()));
@@ -356,12 +371,14 @@ impl CampaignReport {
             let body = match &r.outcome {
                 CellOutcome::Completed(output) => format!(
                     "\"sim_cycles\": {}, \"sim_cycles_per_sec\": {:.0}, \
-                     \"trace_ops\": {}, \"ops_per_sec\": {:.0}, \"peak_trace_bytes\": {}",
+                     \"trace_ops\": {}, \"ops_per_sec\": {:.0}, \"peak_trace_bytes\": {}, \
+                     \"telemetry\": {}",
                     output.stats.cycles,
                     r.sim_cycles_per_sec(),
                     output.trace_ops,
                     r.ops_per_sec(),
                     output.peak_trace_bytes,
+                    output.stats.telemetry.to_json("    "),
                 ),
                 CellOutcome::Failed { error } => {
                     format!("\"error\": \"{}\"", json_escape(error))
@@ -596,7 +613,7 @@ mod tests {
         let mut report = run_campaign(&cells, &CampaignOptions::with_threads(2));
         report.annotate("note", "{\"tag\": \"smoke\"}");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"aos-campaign-report/v2\""));
+        assert!(json.contains("\"schema\": \"aos-campaign-report/v3\""));
         assert!(json.contains("\"cells\": 3"));
         assert!(json.contains("\"completed\": 3"));
         assert!(json.contains("\"failed\": 0"));
@@ -607,6 +624,12 @@ mod tests {
         assert_eq!(json.matches("\"ops_per_sec\": ").count(), 3);
         assert_eq!(json.matches("\"peak_trace_bytes\": ").count(), 3);
         assert_eq!(json.matches("\"status\": \"completed\"").count(), 3);
+        // v3: every completed cell carries the full counter column
+        // set, zero-valued here because telemetry was not enabled.
+        assert_eq!(json.matches("\"telemetry\": {").count(), 3);
+        assert_eq!(json.matches("\"enabled\": false").count(), 3);
+        assert_eq!(json.matches("\"bwb_hits\": 0").count(), 3);
+        assert_eq!(json.matches("\"mcq_peak_occupancy\": 0").count(), 3);
         // Balanced braces/brackets: cheap structural sanity without a
         // JSON parser in the dependency set.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

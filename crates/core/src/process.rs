@@ -28,6 +28,9 @@ pub struct ProcessConfig {
     pub hbt: HbtConfig,
     /// MCU parameters.
     pub mcu: McuConfig,
+    /// Whether to record pipeline telemetry (signer, heap, HBT, MCU
+    /// and BWB events share one registry).
+    pub telemetry: bool,
 }
 
 impl Default for ProcessConfig {
@@ -39,6 +42,7 @@ impl Default for ProcessConfig {
             heap: HeapConfig::default(),
             hbt: HbtConfig::default(),
             mcu: McuConfig::default(),
+            telemetry: false,
         }
     }
 }
@@ -117,6 +121,7 @@ pub struct AosProcess {
     memory: SparseMemory,
     freed_regions: VecDeque<(u64, u64)>,
     resizes: u64,
+    telemetry: aos_util::Telemetry,
 }
 
 impl AosProcess {
@@ -143,16 +148,26 @@ impl AosProcess {
     /// Returns [`aos_util::AosError::InvalidInput`] when the heap
     /// configuration is rejected (e.g. a misaligned base address).
     pub fn try_with_config(config: ProcessConfig) -> Result<Self, aos_util::AosError> {
+        let telemetry = aos_util::Telemetry::new(config.telemetry);
         Ok(Self {
-            signer: PointerSigner::new(config.key, config.layout),
-            heap: HeapAllocator::try_new(config.heap)?,
-            hbt: HashedBoundsTable::new(config.hbt),
-            mcu: MemoryCheckUnit::new(config.mcu, config.layout),
+            signer: PointerSigner::new(config.key, config.layout)
+                .with_telemetry(telemetry.clone()),
+            heap: HeapAllocator::try_new(config.heap)?.with_telemetry(telemetry.clone()),
+            hbt: HashedBoundsTable::new(config.hbt).with_telemetry(telemetry.clone()),
+            mcu: MemoryCheckUnit::new(config.mcu, config.layout)
+                .with_telemetry(telemetry.clone()),
             memory: SparseMemory::new(),
             freed_regions: VecDeque::new(),
             resizes: 0,
+            telemetry,
             config,
         })
+    }
+
+    /// A snapshot of the process-wide telemetry registry (all-zero
+    /// when the config did not enable telemetry).
+    pub fn telemetry_snapshot(&self) -> aos_util::TelemetrySnapshot {
+        self.telemetry.snapshot()
     }
 
     /// The pointer layout in use.
@@ -783,5 +798,47 @@ mod tests {
         assert!(e.to_string().contains("out-of-bounds load"));
         let e = MemorySafetyError::InvalidFree { pointer: 0x10 };
         assert!(e.to_string().contains("free"));
+    }
+
+    #[test]
+    fn process_telemetry_covers_signer_heap_and_table() {
+        use aos_util::{Counter, Hist};
+
+        let mut p = AosProcess::try_with_config(ProcessConfig {
+            telemetry: true,
+            ..ProcessConfig::default()
+        })
+        .unwrap();
+        let a = p.malloc(100).unwrap();
+        let b = p.malloc(24).unwrap();
+        p.store(a, 1).unwrap();
+        let _ = p.load(a).unwrap();
+        p.free(b).unwrap();
+        let _ = p.authenticate(p.signer().xpacm(a));
+
+        let t = p.telemetry_snapshot();
+        assert!(t.enabled);
+        // Signing path: every malloc signs, which computes a PAC.
+        assert_eq!(t.counter(Counter::PtrSigns), 2);
+        assert!(t.counter(Counter::PacComputations) >= 2);
+        assert_eq!(t.counter(Counter::AuthFailures), 1);
+        // Heap path: allocs, frees and the size-class histogram.
+        assert_eq!(t.counter(Counter::HeapAllocs), 2);
+        assert_eq!(t.counter(Counter::HeapFrees), 1);
+        let sizes: u64 = t.hist(Hist::HeapAllocSize).iter().sum();
+        assert_eq!(sizes, 2);
+        // Table path: both allocations landed bounds records.
+        assert!(t.counter(Counter::HbtInserts) >= 2);
+    }
+
+    #[test]
+    fn disabled_process_telemetry_stays_empty() {
+        let mut p = AosProcess::new();
+        let ptr = p.malloc(64).unwrap();
+        p.store(ptr, 1).unwrap();
+        p.free(ptr).unwrap();
+        let t = p.telemetry_snapshot();
+        assert!(!t.enabled);
+        assert!(t.is_empty());
     }
 }

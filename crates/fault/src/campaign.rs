@@ -1,7 +1,7 @@
 //! The fault-injection campaign: a `kind × seed × system` grid run
 //! through the hardened campaign runner, so each trial inherits the
 //! runner's panic isolation, timeout and retry machinery, and the
-//! detection summary rides the `aos-campaign-report/v2` document as a
+//! detection summary rides the `aos-campaign-report/v3` document as a
 //! `fault_detection` annotation.
 
 use std::sync::Arc;
@@ -36,6 +36,10 @@ pub struct FaultCampaignConfig {
     pub systems: Vec<SafetyConfig>,
     /// Runner execution knobs (threads, timeout, retries).
     pub options: CampaignOptions,
+    /// Whether each cell's machine records pipeline telemetry (the
+    /// verdicts are identical either way; the v3 report then carries
+    /// real counter columns instead of zeros).
+    pub telemetry: bool,
 }
 
 impl FaultCampaignConfig {
@@ -49,15 +53,16 @@ impl FaultCampaignConfig {
             seeds,
             systems: vec![SafetyConfig::Aos, SafetyConfig::Baseline],
             options: CampaignOptions::default(),
+            telemetry: false,
         }
     }
 }
 
-/// The campaign's product: the annotated v2 report plus the oracle
+/// The campaign's product: the annotated v3 report plus the oracle
 /// matrix it summarizes.
 #[derive(Debug, Clone)]
 pub struct FaultCampaignOutcome {
-    /// The v2 campaign report, annotated with `fault_detection`.
+    /// The v3 campaign report, annotated with `fault_detection`.
     pub report: CampaignReport,
     /// Every trial's verdict.
     pub matrix: TrialMatrix,
@@ -109,7 +114,8 @@ pub fn run_fault_campaign(config: &FaultCampaignConfig) -> Result<FaultCampaignO
             for (si, &system) in config.systems.iter().enumerate() {
                 cells.push(CampaignCell {
                     profile: config.profile,
-                    sut: SystemUnderTest::scaled(system, config.scale),
+                    sut: SystemUnderTest::scaled(system, config.scale)
+                        .with_telemetry(config.telemetry),
                 });
                 specs.push((spec, si));
             }
@@ -188,7 +194,7 @@ mod tests {
             .all(|t| t.verdict() == crate::oracle::Verdict::Missed));
         let json = outcome.report.to_json();
         assert!(json.contains("\"fault_detection\": {\"trials\": 24,"));
-        assert!(json.contains("\"schema\": \"aos-campaign-report/v2\""));
+        assert!(json.contains("\"schema\": \"aos-campaign-report/v3\""));
         // Every cell streamed: ops were metered and the pipeline never
         // held more than a window of trace (the clean trace here is
         // tens of thousands of ops).

@@ -19,7 +19,7 @@
 //!   lost ways) against the HBT's CRC-3 fail-closed design;
 //! - [`campaign`] fans a `kind × seed × system` grid through the
 //!   hardened campaign runner and annotates the
-//!   `aos-campaign-report/v2` document with detection rates.
+//!   `aos-campaign-report/v3` document with detection rates.
 //!
 //! Every fault is a pure function of `(workload, kind, seed)` — two
 //! runs of the same spec inject the identical op at the identical

@@ -142,6 +142,7 @@ pub struct HashedBoundsTable {
     migration: Option<Migration>,
     stats: HbtStats,
     accesses: Vec<u64>,
+    telemetry: aos_util::Telemetry,
 }
 
 impl HashedBoundsTable {
@@ -170,7 +171,18 @@ impl HashedBoundsTable {
             migration: None,
             stats: HbtStats::default(),
             accesses: Vec::new(),
+            telemetry: aos_util::Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: lookups/hits/misses, inserts and
+    /// clears (including the MCU's post-commit slot writes), resizes
+    /// and migration-row movement are recorded into it, and the
+    /// `hbt_ways` gauge tracks the current associativity.
+    pub fn with_telemetry(mut self, telemetry: aos_util::Telemetry) -> Self {
+        telemetry.gauge_set(aos_util::Gauge::HbtWays, self.ways as u64);
+        self.telemetry = telemetry;
+        self
     }
 
     /// Number of rows (`2^pac_size`).
@@ -307,6 +319,7 @@ impl HashedBoundsTable {
             for slot in 0..self.slots_per_way() {
                 if self.slot_value(pac, way, slot) == 0 {
                     self.set_slot_value(pac, way, slot, bounds.to_raw());
+                    self.telemetry.count(aos_util::Counter::HbtInserts);
                     return Ok(HbtSlot { way, slot });
                 }
             }
@@ -330,11 +343,13 @@ impl HashedBoundsTable {
                 let raw = self.slot_value(pac, way, slot);
                 if CompressedBounds::from_raw(raw).matches_base(addr) {
                     self.set_slot_value(pac, way, slot, 0);
+                    self.telemetry.count(aos_util::Counter::HbtClears);
                     return Ok(HbtSlot { way, slot });
                 }
             }
         }
         self.stats.failed_clears += 1;
+        self.telemetry.count(aos_util::Counter::HbtFailedClears);
         Err(ClearError { pac, addr })
     }
 
@@ -347,12 +362,14 @@ impl HashedBoundsTable {
     pub fn check(&mut self, pac: u64, addr: u64, start_way: u32) -> Option<HbtLookup> {
         self.assert_pac(pac);
         self.stats.checks += 1;
+        self.telemetry.count(aos_util::Counter::HbtLookups);
         for i in 0..self.ways {
             let way = (start_way + i) % self.ways;
             self.touch_line(pac, way);
             for slot in 0..self.slots_per_way() {
                 let bounds = CompressedBounds::from_raw(self.slot_value(pac, way, slot));
                 if bounds.check(addr) {
+                    self.telemetry.count(aos_util::Counter::HbtHits);
                     return Some(HbtLookup {
                         slot: HbtSlot { way, slot },
                         ways_touched: i + 1,
@@ -362,6 +379,7 @@ impl HashedBoundsTable {
             }
         }
         self.stats.failed_checks += 1;
+        self.telemetry.count(aos_util::Counter::HbtMisses);
         None
     }
 
@@ -428,6 +446,9 @@ impl HashedBoundsTable {
         self.base = new_base;
         self.generation += 1;
         self.stats.resizes += 1;
+        self.telemetry.count(aos_util::Counter::HbtResizes);
+        self.telemetry
+            .gauge_set(aos_util::Gauge::HbtWays, self.ways as u64);
         Ok(())
     }
 
@@ -458,6 +479,7 @@ impl HashedBoundsTable {
         if end == total_rows {
             self.migration = None;
         }
+        self.telemetry.add(aos_util::Counter::HbtMigrationRows, moved);
         moved
     }
 
@@ -490,6 +512,14 @@ impl HashedBoundsTable {
         self.assert_pac(pac);
         assert!(way < self.ways, "way {way} out of range");
         assert!(slot < BOUNDS_PER_WAY, "slot {slot} out of range");
+        // The MCU's post-commit slot writes bypass store()/clear(), so
+        // record the insert/clear here to keep the telemetry ledger
+        // complete on the timing path.
+        self.telemetry.count(if bounds.is_empty() {
+            aos_util::Counter::HbtClears
+        } else {
+            aos_util::Counter::HbtInserts
+        });
         self.set_slot_value(pac, way, slot, bounds.to_raw());
     }
 

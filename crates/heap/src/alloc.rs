@@ -148,6 +148,7 @@ pub struct HeapAllocator {
     /// Address where the next chunk header would be placed.
     top: u64,
     profile: UsageProfile,
+    telemetry: aos_util::Telemetry,
 }
 
 impl HeapAllocator {
@@ -186,7 +187,22 @@ impl HeapAllocator {
             bins: BTreeMap::new(),
             top: config.base_addr,
             profile: UsageProfile::default(),
+            telemetry: aos_util::Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle: allocations, frees and the usable
+    /// size-class histogram are recorded into it.
+    pub fn with_telemetry(mut self, telemetry: aos_util::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Records one served allocation of `usable` bytes.
+    fn note_alloc_event(&self, usable: u64) {
+        self.telemetry.count(aos_util::Counter::HeapAllocs);
+        self.telemetry
+            .observe(aos_util::telemetry::Hist::HeapAllocSize, usable);
     }
 
     /// The configuration this heap was built with.
@@ -227,11 +243,10 @@ impl HeapAllocator {
                     .get_mut(&base)
                     .expect("fastbin entries always have chunk records");
                 chunk.set_state(ChunkState::InUse);
-                self.profile.note_alloc(chunk.usable_size());
-                return Ok(Allocation {
-                    base,
-                    usable_size: chunk.usable_size(),
-                });
+                let usable_size = chunk.usable_size();
+                self.profile.note_alloc(usable_size);
+                self.note_alloc_event(usable_size);
+                return Ok(Allocation { base, usable_size });
             }
         }
 
@@ -263,6 +278,7 @@ impl HeapAllocator {
             }
             let usable_size = self.chunks[&base].usable_size();
             self.profile.note_alloc(usable_size);
+            self.note_alloc_event(usable_size);
             return Ok(Allocation { base, usable_size });
         }
 
@@ -279,6 +295,7 @@ impl HeapAllocator {
         self.top = end;
         self.chunks.insert(base, Chunk::new(base, usable));
         self.profile.note_alloc(usable);
+        self.note_alloc_event(usable);
         Ok(Allocation {
             base,
             usable_size: usable,
@@ -305,6 +322,7 @@ impl HeapAllocator {
             usable_size: chunk.usable_size(),
         };
         self.profile.note_free(chunk.usable_size());
+        self.telemetry.count(aos_util::Counter::HeapFrees);
 
         if chunk.usable_size() <= self.config.fastbin_max {
             // Fastbin path: no coalescing, LIFO reuse.

@@ -42,6 +42,7 @@ pub struct BoundsWayBuffer {
     /// (tag, way), most recently used last.
     entries: Vec<(u32, u32)>,
     stats: BwbStats,
+    telemetry: aos_util::Telemetry,
 }
 
 impl BoundsWayBuffer {
@@ -56,7 +57,15 @@ impl BoundsWayBuffer {
             capacity,
             entries: Vec::with_capacity(capacity),
             stats: BwbStats::default(),
+            telemetry: aos_util::Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: hits, misses, updates and LRU
+    /// evictions are recorded into it.
+    pub fn with_telemetry(mut self, telemetry: aos_util::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Number of live entries.
@@ -75,9 +84,11 @@ impl BoundsWayBuffer {
             let entry = self.entries.remove(pos);
             self.entries.push(entry);
             self.stats.hits += 1;
+            self.telemetry.count(aos_util::Counter::BwbHits);
             Some(entry.1)
         } else {
             self.stats.misses += 1;
+            self.telemetry.count(aos_util::Counter::BwbMisses);
             None
         }
     }
@@ -85,10 +96,12 @@ impl BoundsWayBuffer {
     /// Records that `tag`'s bounds were found in `way`, evicting the
     /// least recently used entry if full.
     pub fn update(&mut self, tag: u32, way: u32) {
+        self.telemetry.count(aos_util::Counter::BwbUpdates);
         if let Some(pos) = self.entries.iter().position(|&(t, _)| t == tag) {
             self.entries.remove(pos);
         } else if self.entries.len() == self.capacity {
             self.entries.remove(0);
+            self.telemetry.count(aos_util::Counter::BwbEvictions);
         }
         self.entries.push((tag, way));
     }

@@ -202,6 +202,7 @@ pub struct MemoryCheckUnit {
     /// calls — the functional machine runs one `run_sync` per
     /// load/store, so a per-call `Vec` allocation is hot-path churn.
     sync_events: Vec<McuEvent>,
+    telemetry: aos_util::Telemetry,
 }
 
 impl MemoryCheckUnit {
@@ -215,7 +216,21 @@ impl MemoryCheckUnit {
             next_id: 0,
             stats: McuStats::default(),
             sync_events: Vec::new(),
+            telemetry: aos_util::Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle (shared with the internal BWB):
+    /// MCQ enqueues, peak occupancy, replays, forwards, exceptions and
+    /// clean retirements are recorded into it.
+    pub fn with_telemetry(mut self, telemetry: aos_util::Telemetry) -> Self {
+        self.bwb = std::mem::replace(
+            &mut self.bwb,
+            BoundsWayBuffer::new(self.config.bwb_entries),
+        )
+        .with_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self
     }
 
     /// The configuration in use.
@@ -283,6 +298,11 @@ impl MemoryCheckUnit {
         let id = self.next_id;
         self.next_id += 1;
         self.stats.issued += 1;
+        self.telemetry.count(aos_util::Counter::McqEnqueued);
+        self.telemetry.gauge_max(
+            aos_util::Gauge::McqPeakOccupancy,
+            self.queue.len() as u64 + 1,
+        );
         match op {
             McuOp::Access { .. } if ahc.is_some() => self.stats.signed_accesses += 1,
             McuOp::Access { .. } => self.stats.unsigned_accesses += 1,
@@ -410,6 +430,7 @@ impl MemoryCheckUnit {
             if head.state == McqState::Fail && !head.reported {
                 head.reported = true;
                 self.stats.exceptions += 1;
+                self.telemetry.count(aos_util::Counter::McqExceptions);
                 let exception = match head.op {
                     McuOp::Access { pointer, is_store } => {
                         AosException::BoundsCheckFailure { pointer, is_store }
@@ -455,6 +476,7 @@ impl MemoryCheckUnit {
                     }
                 }
             }
+            self.telemetry.count(aos_util::Counter::McqRetired);
             events.push(McuEvent::Retired {
                 id: entry.id,
                 ways_touched,
@@ -489,6 +511,7 @@ impl MemoryCheckUnit {
                     });
                     if forwarded {
                         self.stats.forwards += 1;
+                        self.telemetry.count(aos_util::Counter::McqForwards);
                         let e = &mut self.queue[i];
                         e.forwarded = true;
                         e.state = McqState::Done;
@@ -643,6 +666,7 @@ impl MemoryCheckUnit {
                 e.reported = false;
                 e.ready_at = now + 1;
                 self.stats.replays += 1;
+                self.telemetry.count(aos_util::Counter::McqReplays);
             }
         }
     }

@@ -54,6 +54,10 @@ pub struct MachineConfig {
     pub migration_rows_per_cycle: u64,
     /// Branch prediction mode.
     pub branch_model: BranchModel,
+    /// Whether to record pipeline telemetry (MCU/BWB/HBT event
+    /// counters). Disabled handles cost one branch per event and the
+    /// simulated behaviour is identical either way.
+    pub telemetry: bool,
 }
 
 impl MachineConfig {
@@ -74,6 +78,7 @@ impl MachineConfig {
             aos_enabled: config.uses_aos(),
             migration_rows_per_cycle: 4,
             branch_model: BranchModel::default(),
+            telemetry: false,
         }
     }
 
@@ -157,6 +162,11 @@ pub struct RunStats {
     pub stalls_lsq: u64,
     /// Issue stalls charged to a full MCQ (the paper's back-pressure).
     pub stalls_mcq: u64,
+    /// Pipeline telemetry snapshot (all-zero/disabled when the config
+    /// did not enable telemetry). Deterministic for a given
+    /// `(trace, config)`, so the derived `PartialEq` still certifies
+    /// bit-identical runs.
+    pub telemetry: aos_util::TelemetrySnapshot,
 }
 
 impl RunStats {
@@ -166,6 +176,16 @@ impl RunStats {
             0.0
         } else {
             self.retired_ops as f64 / self.cycles as f64
+        }
+    }
+
+    /// A copy with the telemetry section zeroed — the comparison basis
+    /// for the observer-effect differential test (an enabled-telemetry
+    /// run must equal a disabled one in every *simulated* statistic).
+    pub fn without_telemetry(&self) -> RunStats {
+        RunStats {
+            telemetry: aos_util::TelemetrySnapshot::default(),
+            ..self.clone()
         }
     }
 }
@@ -224,6 +244,8 @@ pub struct Machine {
     last_chain_complete: u64,
     /// The L-TAGE instance, when `branch_model` is `Tage`.
     tage: Option<Tage>,
+    /// The registry handle shared with the MCU, BWB and HBT.
+    telemetry: aos_util::Telemetry,
     /// `AOS_SIM_DEBUG` presence, sampled once at construction — the
     /// run loop is the hottest code in the repository and must not
     /// query the environment every cycle.
@@ -233,10 +255,12 @@ pub struct Machine {
 impl Machine {
     /// Builds a fresh machine.
     pub fn new(config: MachineConfig) -> Self {
+        let telemetry = aos_util::Telemetry::new(config.telemetry);
         Self {
             hierarchy: MemoryHierarchy::table_iv(config.with_l1b),
-            mcu: MemoryCheckUnit::new(config.mcu, config.layout),
-            hbt: HashedBoundsTable::new(config.hbt),
+            mcu: MemoryCheckUnit::new(config.mcu, config.layout)
+                .with_telemetry(telemetry.clone()),
+            hbt: HashedBoundsTable::new(config.hbt).with_telemetry(telemetry.clone()),
             now: 0,
             rob: VecDeque::with_capacity(config.rob_entries),
             loads_inflight: 0,
@@ -261,8 +285,15 @@ impl Machine {
                 BranchModel::TraceProvided => None,
             },
             debug: std::env::var_os("AOS_SIM_DEBUG").is_some(),
+            telemetry,
             config,
         }
+    }
+
+    /// The machine's telemetry handle (disabled unless the config
+    /// enabled it).
+    pub fn telemetry(&self) -> &aos_util::Telemetry {
+        &self.telemetry
     }
 
     /// The machine's configuration.
@@ -332,6 +363,7 @@ impl Machine {
             stalls_rob: self.stalls_rob,
             stalls_lsq: self.stalls_lsq,
             stalls_mcq: self.stalls_mcq,
+            telemetry: self.telemetry.snapshot(),
         }
     }
 
@@ -360,6 +392,7 @@ impl Machine {
                             self.mcu.retry(*id);
                         } else {
                             self.violations += 1;
+                            self.telemetry.count(aos_util::Counter::SimViolations);
                             self.mcu.drop_failed(*id);
                         }
                     }
@@ -372,6 +405,7 @@ impl Machine {
                         // from a tampered trace land here too: the
                         // store is dropped and the fault counted.
                         self.violations += 1;
+                        self.telemetry.count(aos_util::Counter::SimViolations);
                         self.mcu.drop_failed(*id);
                     }
                 }

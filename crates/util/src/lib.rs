@@ -17,6 +17,10 @@
 //!   errors instead of poisoning the whole join.
 //! - [`error`] — the shared [`error::AosError`] taxonomy the pipeline
 //!   crates converge to at subsystem boundaries.
+//! - [`telemetry`] — the zero-cost-when-disabled metrics registry
+//!   ([`telemetry::Telemetry`] handle, fixed counter/gauge/histogram
+//!   taxonomy, mergeable [`telemetry::TelemetrySnapshot`]) that every
+//!   pipeline stage records into.
 //!
 //! # Examples
 //!
@@ -34,7 +38,9 @@ pub mod error;
 pub mod par;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 
 pub use error::AosError;
+pub use telemetry::{Counter, Gauge, Hist, Telemetry, TelemetrySnapshot};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use stats::{geomean, mean, stdev, Histogram};

@@ -23,17 +23,32 @@ echo "== tier-1: fault-injection smoke (strict) =="
 cargo run -q --release -p aos-cli -- faults --seeds 2 --strict true
 
 # Hardened crates must not grow new unwrap() on input-reachable paths,
-# and the streaming pipeline must not regress into collect-then-iterate
-# (needless_collect re-materializes traces the refactor made lazy).
+# the streaming pipeline must not regress into collect-then-iterate
+# (needless_collect re-materializes traces the refactor made lazy),
+# and library crates must not print to stdout — user-facing output
+# belongs to the CLI and bench binaries, which are exempt from the
+# gate by not being in the crate list.
 # The gate is advisory when clippy is not installed (offline image).
 if command -v cargo-clippy >/dev/null 2>&1; then
-    echo "== tier-1: clippy unwrap + needless-collect gate (hardened crates) =="
+    echo "== tier-1: clippy unwrap + needless-collect + print-stdout gate (library crates) =="
     for crate in aos-util aos-heap aos-mcu aos-hbt aos-isa aos-core aos-fault; do
         cargo clippy -q -p "$crate" --no-deps -- \
-            -D clippy::unwrap_used -D clippy::needless_collect
+            -D clippy::unwrap_used -D clippy::needless_collect \
+            -D clippy::print_stdout
     done
 else
-    echo "== tier-1: clippy not installed, skipping unwrap gate =="
+    echo "== tier-1: clippy not installed, skipping lint gates =="
+fi
+
+# Coverage is report-only (a soft floor, never a hard failure): when
+# cargo-llvm-cov is installed the line rate is printed so reviewers
+# can watch the trend; the offline image without it skips cleanly.
+if command -v cargo-llvm-cov >/dev/null 2>&1; then
+    echo "== tier-1: coverage report (soft floor ${AOS_COVERAGE_FLOOR:-70}%, report-only) =="
+    cargo llvm-cov --workspace --summary-only || \
+        echo "coverage run failed (report-only, not fatal)"
+else
+    echo "== tier-1: cargo-llvm-cov not installed, skipping coverage report =="
 fi
 
 if [[ "${1:-}" == "--with-smoke" ]]; then
