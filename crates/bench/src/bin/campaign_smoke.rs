@@ -1,7 +1,7 @@
 //! The canonical, dependency-free throughput artifact: runs a scaled
 //! Fig. 14 campaign (`SPEC2006 × {Baseline..PA+AOS}`) through the
 //! parallel campaign runner and writes `BENCH_campaign.json`
-//! (schema `aos-campaign-report/v3`: campaign wall-clock, cells/sec,
+//! (schema `aos-campaign-report/v4`: campaign wall-clock, cells/sec,
 //! cell-health counters, per-cell status, sim-cycles/sec, per-cell
 //! telemetry counter columns, and the streaming-pipeline columns
 //! `trace_ops`, `ops_per_sec` and

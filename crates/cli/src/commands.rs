@@ -10,10 +10,32 @@ use aos_core::workloads::collisions;
 use aos_core::workloads::microbench::pac_distribution;
 use aos_core::workloads::profile::{self, REAL_WORLD, SPEC2006};
 use aos_fault::campaign::FaultCampaignConfig;
-use aos_fault::{run_fault_campaign, FaultKind};
-use aos_util::{Counter, Gauge};
+use aos_fault::{plan_fault, run_fault_campaign, FaultKind, FaultSpec};
+use aos_lint::lint_stream_metered;
+use aos_ptrauth::PointerLayout;
+use aos_util::{Counter, Gauge, Telemetry};
+use aos_workloads::TraceGenerator;
 
 use crate::args::{scale_or, Parsed};
+
+/// Failure classes, mapped to process exit codes by `main` (the
+/// contract `usage()` documents): a command that ran its gate and
+/// found real findings exits 1; bad flags, bad input or an execution
+/// error exit 2; success is 0.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// A strict gate (`aos lint`, `aos faults --strict true`) found
+    /// findings — the run itself worked (exit 1).
+    Findings(String),
+    /// Unusable invocation or a failure to execute (exit 2).
+    Usage(String),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Usage(message)
+    }
+}
 
 /// `args::scale` with its typed error flattened into the CLI's
 /// string-error convention.
@@ -60,7 +82,19 @@ USAGE:
                                             verify AOS detects what the
                                             Baseline misses; --strict fails
                                             unless detection is 100% with
-                                            zero false positives
+                                            zero false positives and the
+                                            static lint cross-check is
+                                            consistent
+  aos lint [--workload <w>] [--system <s>] [--scale <f>]
+           [--fault <kind>] [--seed <n>] [--json true]
+           [--strict false] [--telemetry true]
+                                            statically verify the generated
+                                            op stream against the Fig. 7
+                                            instrumentation protocol (no
+                                            machine run); --fault lints a
+                                            seeded faulted stream instead;
+                                            strict by default — any finding
+                                            exits 1
   aos table <1|2|3|4> [--scale <f>]         reproduce a paper table
   aos fig <11|14|15|16|17|18> [--scale <f>] reproduce a paper figure
   aos pac [--allocations <n>] [--bits <b>] [--live <n>]
@@ -76,6 +110,9 @@ SYSTEMS: baseline, watchdog, pa, aos, pa+aos
 THREADS: --threads beats the AOS_CAMPAIGN_THREADS env var, which beats
          the machine's available parallelism; results are identical at
          any thread count.
+EXIT CODES: 0 = success / gate clean; 1 = a strict gate found real
+         findings (aos lint findings, aos faults --strict true
+         failures); 2 = unusable invocation or execution error.
 "
     .to_string()
 }
@@ -371,7 +408,7 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
 
 /// `aos faults [--workload w] [--scale f] [--seeds n] [--kinds k,..]
 /// [--threads n] [--out path] [--strict true]`.
-pub fn faults(args: &[String]) -> Result<(), String> {
+pub fn faults(args: &[String]) -> Result<(), CliError> {
     let parsed = Parsed::parse(args)?;
     let workload = find_workload(parsed.flag("workload").unwrap_or("hmmer"))?;
     // Fault sweeps replay the trace once per (kind, seed, system):
@@ -379,7 +416,7 @@ pub fn faults(args: &[String]) -> Result<(), String> {
     let scale = scale_or(&parsed, 0.004).map_err(|e| e.to_string())?;
     let seed_count: u64 = parsed.flag_or("seeds", 3u64)?;
     if seed_count == 0 {
-        return Err("--seeds must be at least 1".to_string());
+        return Err("--seeds must be at least 1".to_string().into());
     }
     let kinds = match parsed.flag("kinds") {
         None => FaultKind::ALL.to_vec(),
@@ -431,6 +468,21 @@ pub fn faults(args: &[String]) -> Result<(), String> {
         outcome.matrix.false_positives(),
         outcome.report.failed(),
     );
+    println!(
+        "\nstatic cross-check (aos-lint): clean trace raised {} diagnostic(s)",
+        outcome.lint.clean_diagnostics
+    );
+    for check in &outcome.lint.kinds {
+        println!(
+            "{:<12} {:<14} {}/{} seeds flagged{}{}",
+            check.kind.name(),
+            check.classification().to_string(),
+            check.flagged,
+            check.seeds,
+            if check.rules.is_empty() { "" } else { "; rules: " },
+            check.rules.join(", "),
+        );
+    }
     if telemetry {
         println!("\naggregate over all faulted cells:");
         print!("{}", outcome.report.telemetry().to_table());
@@ -442,11 +494,85 @@ pub fn faults(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write '{out}': {e}"))?;
         println!("report written to {out}");
     }
-    if strict && (!outcome.matrix.is_sound() || outcome.report.failed() > 0) {
-        return Err(format!(
-            "strict fault gate failed: {}",
-            outcome.matrix.to_json_value()
-        ));
+    if strict
+        && (!outcome.matrix.is_sound()
+            || outcome.report.failed() > 0
+            || !outcome.lint.is_consistent())
+    {
+        return Err(CliError::Findings(format!(
+            "strict fault gate failed: {} {}",
+            outcome.matrix.to_json_value(),
+            outcome.lint.to_json_value()
+        )));
+    }
+    Ok(())
+}
+
+/// `aos lint [--workload w] [--system s] [--scale f] [--fault kind]
+/// [--seed n] [--json true] [--strict false] [--telemetry true]`:
+/// statically verify a generated op stream against the Fig. 7 /
+/// Algorithm 1 instrumentation protocol without running a machine.
+///
+/// Strict is the *default* (the linter is a gate): any finding exits
+/// 1; pass `--strict false` to always exit 0 on a completed scan.
+pub fn lint(args: &[String]) -> Result<(), CliError> {
+    let parsed = Parsed::parse(args)?;
+    let workload = find_workload(parsed.flag("workload").unwrap_or("hmmer"))?;
+    // Lint scans only generate the trace (no machine): small default
+    // window, validated exactly like the other subcommands.
+    let scale = scale_or(&parsed, 0.004).map_err(|e| e.to_string())?;
+    let system = parse_system(parsed.flag("system").unwrap_or("aos"))?;
+    let strict = parsed.flag("strict").is_none_or(|v| v != "false");
+    let telemetry = if bool_flag(&parsed, "telemetry") {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let layout = PointerLayout::default();
+    let stream = || TraceGenerator::new(workload, system, scale);
+
+    let (report, faulted) = match parsed.flag("fault") {
+        None => (lint_stream_metered(stream(), layout, &telemetry), None),
+        Some(kind) => {
+            if !system.uses_aos() {
+                return Err(format!(
+                    "--fault needs an instrumented stream, but system '{system}' \
+                     carries no AOS protocol ops; use --system aos or pa+aos"
+                )
+                .into());
+            }
+            let kind = FaultKind::parse(kind).map_err(|e| e.to_string())?;
+            let seed: u64 = parsed.flag_or("seed", 1u64)?;
+            let plan = plan_fault(stream(), layout, FaultSpec { kind, seed })
+                .map_err(|e| e.to_string())?;
+            let report = lint_stream_metered(plan.apply(stream()), layout, &telemetry);
+            (report, Some(plan.description.clone()))
+        }
+    };
+
+    if bool_flag(&parsed, "json") {
+        print!("{}", report.to_json());
+    } else {
+        println!(
+            "== aos-lint: {} on {system} @ scale {scale} ==",
+            workload.name
+        );
+        if let Some(description) = faulted {
+            println!("injected: {description}");
+        }
+        print!("{}", report.to_table());
+        if bool_flag(&parsed, "telemetry") {
+            println!();
+            print!("{}", telemetry.snapshot().to_table());
+        }
+    }
+    if strict && !report.clean() {
+        return Err(CliError::Findings(format!(
+            "lint gate failed: {} finding(s) ({} error(s), {} warning(s))",
+            report.total_diagnostics(),
+            report.errors(),
+            report.warnings()
+        )));
     }
     Ok(())
 }
@@ -662,7 +788,49 @@ mod tests {
                 faults(&["--scale".to_string(), v.to_string()]).is_err(),
                 "faults --scale {v}"
             );
+            // Non-positive / degenerate scales are usage errors (exit
+            // 2), not findings — the scan never ran.
+            assert!(
+                matches!(
+                    lint(&["--scale".to_string(), v.to_string()]),
+                    Err(CliError::Usage(_))
+                ),
+                "lint --scale {v}"
+            );
         }
+    }
+
+    #[test]
+    fn lint_gate_separates_findings_from_usage_errors() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // A clean generated trace passes the strict-by-default gate.
+        assert!(lint(&args(&["--scale", "0.002"])).is_ok());
+        // An injected protocol break is a finding (exit 1) ...
+        assert!(matches!(
+            lint(&args(&["--fault", "double-free"])),
+            Err(CliError::Findings(_))
+        ));
+        // ... unless the gate is waived.
+        assert!(lint(&args(&["--fault", "double-free", "--strict", "false"])).is_ok());
+        // Spatial faults are dynamic-only: clean lint even when faulted.
+        assert!(lint(&args(&["--fault", "overflow"])).is_ok());
+        // Faulting an uninstrumented stream cannot work: usage error.
+        assert!(matches!(
+            lint(&args(&["--system", "baseline", "--fault", "uaf"])),
+            Err(CliError::Usage(_))
+        ));
+        // Unknown fault kinds are usage errors too.
+        assert!(matches!(
+            lint(&args(&["--fault", "rowhammer"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn usage_documents_the_exit_code_contract() {
+        let text = usage();
+        assert!(text.contains("EXIT CODES"));
+        assert!(text.contains("aos lint"));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! aos stats [options]                  merged pipeline telemetry counters
 //! aos campaign [options]               parallel workload x system matrix
 //! aos faults [options]                 seeded fault-injection sweep
+//! aos lint [options]                   static protocol verification
 //! aos table <1|2|3|4> [--scale f]      reproduce a paper table
 //! aos fig <11|14|15|16|17|18> [--scale f]   reproduce a paper figure
 //! aos pac [--allocations n] [--bits b] the Fig. 11 microbenchmark
@@ -14,45 +15,58 @@
 //! aos params                           the Table IV machine
 //! aos workloads                        list the calibrated workloads
 //! ```
+//!
+//! Exit codes (documented in `aos help`): 0 success, 1 a strict gate
+//! found real findings, 2 unusable invocation or execution error.
 
 use std::process::ExitCode;
 
 mod args;
 mod commands;
 
+use commands::CliError;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
         eprint!("{}", commands::usage());
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let rest = &argv[1..];
-    let outcome = match command.as_str() {
-        "attacks" => commands::attacks(),
-        "run" => commands::run(rest),
-        "compare" => commands::compare(rest),
-        "stats" => commands::stats(rest),
-        "campaign" => commands::campaign(rest),
+    let outcome: Result<(), CliError> = match command.as_str() {
+        "attacks" => commands::attacks().map_err(CliError::from),
+        "run" => commands::run(rest).map_err(CliError::from),
+        "compare" => commands::compare(rest).map_err(CliError::from),
+        "stats" => commands::stats(rest).map_err(CliError::from),
+        "campaign" => commands::campaign(rest).map_err(CliError::from),
         "faults" => commands::faults(rest),
-        "table" => commands::table(rest),
-        "fig" => commands::fig(rest),
-        "pac" => commands::pac(rest),
-        "trace" => commands::trace(rest),
-        "replay" => commands::replay(rest),
-        "params" => commands::params(),
-        "workloads" => commands::workloads(),
+        "lint" => commands::lint(rest),
+        "table" => commands::table(rest).map_err(CliError::from),
+        "fig" => commands::fig(rest).map_err(CliError::from),
+        "pac" => commands::pac(rest).map_err(CliError::from),
+        "trace" => commands::trace(rest).map_err(CliError::from),
+        "replay" => commands::replay(rest).map_err(CliError::from),
+        "params" => commands::params().map_err(CliError::from),
+        "workloads" => commands::workloads().map_err(CliError::from),
         "help" | "--help" | "-h" => {
             print!("{}", commands::usage());
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'")),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        // Findings: the command ran to completion and its gate
+        // reported real findings — no usage dump, the gate already
+        // explained itself.
+        Err(CliError::Findings(message)) => {
+            eprintln!("{message}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(message)) => {
             eprintln!("error: {message}");
             eprint!("{}", commands::usage());
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }

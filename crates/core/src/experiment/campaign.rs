@@ -4,7 +4,7 @@
 //! a cell list out across a scoped worker pool
 //! ([`aos_util::par::ordered_parallel_catch`]), returns per-cell
 //! [`CellResult`]s **in input order**, and renders a machine-readable
-//! JSON report (`aos-campaign-report/v3`, with per-cell telemetry
+//! JSON report (`aos-campaign-report/v4`, with per-cell telemetry
 //! counter columns) so perf trajectories can be tracked across PRs.
 //!
 //! Determinism: a cell's simulation consumes no shared mutable state
@@ -335,7 +335,7 @@ impl CampaignReport {
         self.annotations.push((key.into(), value.into()));
     }
 
-    /// The `aos-campaign-report/v3` JSON document (schema documented
+    /// The `aos-campaign-report/v4` JSON document (schema documented
     /// in DESIGN.md §11 and pinned by `tests/report_schema_golden.rs`):
     /// campaign wall-clock, cell-health counters and cells/sec at the
     /// top, then one record per cell with its status, attempts,
@@ -345,7 +345,7 @@ impl CampaignReport {
     /// stable shape. Failed cells carry the captured error instead.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"aos-campaign-report/v3\",\n");
+        out.push_str("  \"schema\": \"aos-campaign-report/v4\",\n");
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"cells\": {},\n", self.results.len()));
         out.push_str(&format!("  \"completed\": {},\n", self.completed()));
@@ -613,7 +613,7 @@ mod tests {
         let mut report = run_campaign(&cells, &CampaignOptions::with_threads(2));
         report.annotate("note", "{\"tag\": \"smoke\"}");
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"aos-campaign-report/v3\""));
+        assert!(json.contains("\"schema\": \"aos-campaign-report/v4\""));
         assert!(json.contains("\"cells\": 3"));
         assert!(json.contains("\"completed\": 3"));
         assert!(json.contains("\"failed\": 0"));
@@ -624,7 +624,7 @@ mod tests {
         assert_eq!(json.matches("\"ops_per_sec\": ").count(), 3);
         assert_eq!(json.matches("\"peak_trace_bytes\": ").count(), 3);
         assert_eq!(json.matches("\"status\": \"completed\"").count(), 3);
-        // v3: every completed cell carries the full counter column
+        // v4: every completed cell carries the full counter column
         // set, zero-valued here because telemetry was not enabled.
         assert_eq!(json.matches("\"telemetry\": {").count(), 3);
         assert_eq!(json.matches("\"enabled\": false").count(), 3);

@@ -1,7 +1,7 @@
 //! The fault-injection campaign: a `kind × seed × system` grid run
 //! through the hardened campaign runner, so each trial inherits the
 //! runner's panic isolation, timeout and retry machinery, and the
-//! detection summary rides the `aos-campaign-report/v3` document as a
+//! detection summary rides the `aos-campaign-report/v4` document as a
 //! `fault_detection` annotation.
 
 use std::sync::Arc;
@@ -12,6 +12,7 @@ use aos_core::experiment::campaign::{
 use aos_core::experiment::SystemUnderTest;
 use aos_isa::stream::{BufferedOps, OpStream};
 use aos_isa::{Op, SafetyConfig};
+use aos_lint::{lint_stream, Rule};
 use aos_ptrauth::PointerLayout;
 use aos_sim::Machine;
 use aos_util::AosError;
@@ -37,7 +38,7 @@ pub struct FaultCampaignConfig {
     /// Runner execution knobs (threads, timeout, retries).
     pub options: CampaignOptions,
     /// Whether each cell's machine records pipeline telemetry (the
-    /// verdicts are identical either way; the v3 report then carries
+    /// verdicts are identical either way; the v4 report then carries
     /// real counter columns instead of zeros).
     pub telemetry: bool,
 }
@@ -58,14 +59,134 @@ impl FaultCampaignConfig {
     }
 }
 
-/// The campaign's product: the annotated v3 report plus the oracle
-/// matrix it summarizes.
+/// The campaign's product: the annotated v4 report plus the oracle
+/// matrix it summarizes and the static-lint cross-check.
 #[derive(Debug, Clone)]
 pub struct FaultCampaignOutcome {
-    /// The v3 campaign report, annotated with `fault_detection`.
+    /// The v4 campaign report, annotated with `fault_detection` and
+    /// `lint_cross_check`.
     pub report: CampaignReport,
     /// Every trial's verdict.
     pub matrix: TrialMatrix,
+    /// The differential static-analysis cross-check: what `aos-lint`
+    /// sees in the same clean and faulted streams.
+    pub lint: LintCrossCheck,
+}
+
+/// How the static linter relates to one [`FaultKind`]: either the
+/// fault is a protocol break the linter sees without running a
+/// machine, or it is a runtime-only phenomenon the dynamic oracle
+/// must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintClass {
+    /// Every seeded instance raised at least one lint diagnostic.
+    StaticallyDetectable,
+    /// No seeded instance raised any diagnostic: only the machine's
+    /// bounds check can see it.
+    DynamicOnly,
+    /// Some seeds flagged, some not — the classification is unstable
+    /// and the campaign's consistency gate fails.
+    Mixed,
+}
+
+impl std::fmt::Display for LintClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LintClass::StaticallyDetectable => "static",
+            LintClass::DynamicOnly => "dynamic-only",
+            LintClass::Mixed => "mixed",
+        })
+    }
+}
+
+/// The lint verdicts for one fault kind across the campaign's seeds.
+#[derive(Debug, Clone)]
+pub struct LintKindCheck {
+    /// The fault class.
+    pub kind: FaultKind,
+    /// Seeds whose plan succeeded and whose faulted stream was
+    /// linted.
+    pub seeds: usize,
+    /// Seeds whose faulted stream raised at least one diagnostic.
+    pub flagged: usize,
+    /// Union of rule names that fired, in taxonomy order.
+    pub rules: Vec<&'static str>,
+}
+
+impl LintKindCheck {
+    /// The kind's static-vs-dynamic classification.
+    pub fn classification(&self) -> LintClass {
+        if self.flagged == 0 {
+            LintClass::DynamicOnly
+        } else if self.flagged == self.seeds {
+            LintClass::StaticallyDetectable
+        } else {
+            LintClass::Mixed
+        }
+    }
+}
+
+/// The campaign's differential static-analysis summary: the clean
+/// stream's diagnostic count (must be zero) and each fault kind's
+/// [`LintClass`]. Rides the report as the `lint_cross_check`
+/// annotation.
+#[derive(Debug, Clone, Default)]
+pub struct LintCrossCheck {
+    /// Diagnostics the clean (unfaulted) stream raised — any nonzero
+    /// value is a lint false positive.
+    pub clean_diagnostics: u64,
+    /// One entry per fault kind, in sweep order.
+    pub kinds: Vec<LintKindCheck>,
+}
+
+impl LintCrossCheck {
+    /// `true` when the clean stream linted clean and every kind is
+    /// unambiguously static or dynamic-only — the property the
+    /// strict gate and `tests/lint_matrix.rs` pin.
+    pub fn is_consistent(&self) -> bool {
+        self.clean_diagnostics == 0
+            && self
+                .kinds
+                .iter()
+                .all(|k| k.classification() != LintClass::Mixed)
+    }
+
+    /// The kinds the linter proves statically.
+    pub fn static_kinds(&self) -> impl Iterator<Item = &LintKindCheck> {
+        self.kinds
+            .iter()
+            .filter(|k| k.classification() == LintClass::StaticallyDetectable)
+    }
+
+    /// A single-line JSON value for the report annotation.
+    pub fn to_json_value(&self) -> String {
+        let kinds = self
+            .kinds
+            .iter()
+            .map(|k| {
+                let rules = k
+                    .rules
+                    .iter()
+                    .map(|r| format!("\"{r}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "{{\"kind\": \"{}\", \"classification\": \"{}\", \
+                     \"seeds\": {}, \"flagged\": {}, \"rules\": [{rules}]}}",
+                    k.kind.name(),
+                    k.classification(),
+                    k.seeds,
+                    k.flagged
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"clean_diagnostics\": {}, \"consistent\": {}, \"kinds\": [{kinds}]}}",
+            self.clean_diagnostics,
+            self.is_consistent()
+        )
+    }
 }
 
 /// Runs the grid, fully streaming: each `(kind, seed)` fault is
@@ -122,6 +243,44 @@ pub fn run_fault_campaign(config: &FaultCampaignConfig) -> Result<FaultCampaignO
         }
     }
 
+    // The differential static cross-check: the linter scans the same
+    // streams the machines will replay — the clean stream once, then
+    // each planned fault's spliced stream — classifying every kind as
+    // statically detectable or dynamic-only without running a machine.
+    let clean_diagnostics =
+        lint_stream(stream(&config.profile, config.scale), layout).total_diagnostics();
+    let mut lint = LintCrossCheck {
+        clean_diagnostics,
+        kinds: Vec::new(),
+    };
+    for (ki, &kind) in config.kinds.iter().enumerate() {
+        let mut check = LintKindCheck {
+            kind,
+            seeds: 0,
+            flagged: 0,
+            rules: Vec::new(),
+        };
+        let mut fired = [false; Rule::COUNT];
+        for si in 0..config.seeds.len() {
+            if let Ok(plan) = &plans[ki * config.seeds.len() + si] {
+                let report = lint_stream(plan.apply(stream(&config.profile, config.scale)), layout);
+                check.seeds += 1;
+                if !report.clean() {
+                    check.flagged += 1;
+                }
+                for rule in report.rules_fired() {
+                    fired[rule as usize] = true;
+                }
+            }
+        }
+        check.rules = Rule::ALL
+            .iter()
+            .filter(|r| fired[**r as usize])
+            .map(|r| r.name())
+            .collect();
+        lint.kinds.push(check);
+    }
+
     // A failed plan is reported through its cells' Failed outcome
     // (via panic + catch_unwind) instead of aborting the sweep.
     let plans = Arc::new(plans);
@@ -169,7 +328,12 @@ pub fn run_fault_campaign(config: &FaultCampaignConfig) -> Result<FaultCampaignO
         }
     }
     report.annotate("fault_detection", matrix.to_json_value());
-    Ok(FaultCampaignOutcome { report, matrix })
+    report.annotate("lint_cross_check", lint.to_json_value());
+    Ok(FaultCampaignOutcome {
+        report,
+        matrix,
+        lint,
+    })
 }
 
 #[cfg(test)]
@@ -192,9 +356,16 @@ mod tests {
             .matrix
             .unprotected()
             .all(|t| t.verdict() == crate::oracle::Verdict::Missed));
+        // The static cross-check rides the report and must be
+        // internally consistent: clean stream clean, every kind
+        // unambiguously static or dynamic-only.
+        assert!(outcome.lint.is_consistent(), "{}", outcome.lint.to_json_value());
+        assert_eq!(outcome.lint.kinds.len(), 6);
+        assert!(outcome.lint.static_kinds().count() >= 1);
         let json = outcome.report.to_json();
         assert!(json.contains("\"fault_detection\": {\"trials\": 24,"));
-        assert!(json.contains("\"schema\": \"aos-campaign-report/v3\""));
+        assert!(json.contains("\"lint_cross_check\": {\"clean_diagnostics\": 0, \"consistent\": true,"));
+        assert!(json.contains("\"schema\": \"aos-campaign-report/v4\""));
         // Every cell streamed: ops were metered and the pipeline never
         // held more than a window of trace (the clean trace here is
         // tens of thousands of ops).

@@ -19,7 +19,7 @@
 //!   lost ways) against the HBT's CRC-3 fail-closed design;
 //! - [`campaign`] fans a `kind × seed × system` grid through the
 //!   hardened campaign runner and annotates the
-//!   `aos-campaign-report/v3` document with detection rates.
+//!   `aos-campaign-report/v4` document with detection rates.
 //!
 //! Every fault is a pure function of `(workload, kind, seed)` — two
 //! runs of the same spec inject the identical op at the identical
@@ -30,7 +30,10 @@ pub mod corrupt;
 pub mod inject;
 pub mod oracle;
 
-pub use campaign::{run_fault_campaign, FaultCampaignConfig, FaultCampaignOutcome};
+pub use campaign::{
+    run_fault_campaign, FaultCampaignConfig, FaultCampaignOutcome, LintClass, LintCrossCheck,
+    LintKindCheck,
+};
 pub use inject::{
     inject, plan_fault, FaultAction, FaultKind, FaultPlan, FaultSpec, FaultStream, Injection,
     UAF_DELAY_OPS,

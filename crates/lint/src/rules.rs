@@ -1,0 +1,206 @@
+//! The lint rule taxonomy: one rule per Fig. 7 / Algorithm 1 protocol
+//! obligation, with stable wire names and fixed severities.
+
+/// How bad a finding is.
+///
+/// `Error` findings are protocol violations — an instrumentation
+/// stream a correct AOS compiler cannot emit. `Warning` findings are
+/// end-of-stream imbalances that may be benign truncation (a trace
+/// window ending mid-protocol) but deserve a look.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but possibly benign (e.g. a truncated window).
+    Warning,
+    /// A definite violation of the instrumentation protocol.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The static protocol rules, one per lifecycle obligation of the
+/// paper's Fig. 7 instrumentation and Algorithm 1 AHC encoding.
+///
+/// The discriminant is the per-rule counter index; [`Rule::NAMES`]
+/// (same order) are the stable wire names used by the
+/// `aos-lint-report/v1` document and the CLI table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Rule {
+    /// A signed pointer was dereferenced after its `pacma` but before
+    /// any `bndstr` recorded bounds for it — the malloc protocol is
+    /// `pacma` *then* `bndstr` (Fig. 7a), and until the bounds exist
+    /// every access would miss the HBT.
+    UseBeforeBndstr,
+    /// A signed pointer whose PAC was never produced by any `pacma`
+    /// in the stream — a forged or tampered signature.
+    UnknownPac,
+    /// A signed pointer was dereferenced after every bounds record
+    /// under its PAC had been `bndclr`ed — the static shadow of a
+    /// use-after-free.
+    AccessAfterClear,
+    /// A `bndclr` for a PAC with no live bounds record — the static
+    /// shadow of a double free (Fig. 7b clears exactly once).
+    DoubleBndclr,
+    /// An `xpacm` with no outstanding `bndclr` — Fig. 7b strips the
+    /// PAC only as part of the clear-then-strip free sequence.
+    XpacmWithoutBndclr,
+    /// A `bndstr` whose PAC was not just signed by a matching `pacma`
+    /// (missing sign, or the sizes disagree) — bounds without a
+    /// signature can never validate an access.
+    BndstrWithoutPacma,
+    /// A `pacma` whose pointer's AHC bits disagree with Algorithm 1
+    /// applied to its size operand — the hash-table way selection
+    /// would diverge between store and check.
+    AhcSizeMismatch,
+    /// An operation on a PAC that has live bounds records, but none
+    /// in the AHC class the pointer's top bits select — store and
+    /// check would walk different HBT ways.
+    AccessAhcMismatch,
+    /// Protocol state left open at end of stream: a `pacma` whose
+    /// `bndstr` never arrived, or `bndclr`s with no matching `xpacm`.
+    /// Live bounds records at exit are *not* flagged — a process may
+    /// legitimately exit with allocations live.
+    UnbalancedAtEnd,
+}
+
+impl Rule {
+    /// Number of rules in the taxonomy.
+    pub const COUNT: usize = 9;
+
+    /// Every rule, in counter (and wire) order.
+    pub const ALL: [Rule; Self::COUNT] = [
+        Rule::UseBeforeBndstr,
+        Rule::UnknownPac,
+        Rule::AccessAfterClear,
+        Rule::DoubleBndclr,
+        Rule::XpacmWithoutBndclr,
+        Rule::BndstrWithoutPacma,
+        Rule::AhcSizeMismatch,
+        Rule::AccessAhcMismatch,
+        Rule::UnbalancedAtEnd,
+    ];
+
+    /// Stable wire names, in the same order as [`Rule::ALL`].
+    pub const NAMES: [&'static str; Self::COUNT] = [
+        "use-before-bndstr",
+        "unknown-pac",
+        "access-after-clear",
+        "double-bndclr",
+        "xpacm-without-bndclr",
+        "bndstr-without-pacma",
+        "ahc-size-mismatch",
+        "access-ahc-mismatch",
+        "unbalanced-at-end",
+    ];
+
+    /// The rule's stable wire name.
+    pub fn name(self) -> &'static str {
+        Self::NAMES[self as usize]
+    }
+
+    /// The rule's fixed severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::UnbalancedAtEnd => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// The Fig. 7 / Algorithm 1 obligation the rule enforces — one
+    /// line, used by the CLI table and DESIGN.md §12.
+    pub fn obligation(self) -> &'static str {
+        match self {
+            Rule::UseBeforeBndstr => "malloc signs then stores bounds before first use (Fig. 7a)",
+            Rule::UnknownPac => "every signed pointer descends from a pacma (Fig. 7a)",
+            Rule::AccessAfterClear => "no use after the free-site bndclr (Fig. 7b)",
+            Rule::DoubleBndclr => "each allocation is cleared exactly once (Fig. 7b)",
+            Rule::XpacmWithoutBndclr => "xpacm strips only as part of the free sequence (Fig. 7b)",
+            Rule::BndstrWithoutPacma => "bndstr pairs with the pacma that signed it (Fig. 7a)",
+            Rule::AhcSizeMismatch => "AHC bits encode Algorithm 1 of the size operand",
+            Rule::AccessAhcMismatch => "accesses select the AHC way their bounds live in",
+            Rule::UnbalancedAtEnd => "protocol sequences complete before the stream ends",
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: a rule fired at a stream position, attributed to a
+/// PAC (0 when the offending op carries no pointer, e.g. `xpacm`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which protocol obligation was violated.
+    pub rule: Rule,
+    /// Zero-based index of the offending op in the scanned stream.
+    pub op_index: u64,
+    /// The PAC the finding is attributed to.
+    pub pac: u64,
+    /// [`Rule::severity`], denormalized for direct consumption.
+    pub severity: Severity,
+    /// Human-readable specifics (sizes, classes, counts).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} at op {} (pac {:#x}): {}",
+            self.severity, self.rule, self.op_index, self.pac, self.detail
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_arrays_agree() {
+        assert_eq!(Rule::ALL.len(), Rule::COUNT);
+        assert_eq!(Rule::NAMES.len(), Rule::COUNT);
+        for (i, rule) in Rule::ALL.iter().enumerate() {
+            assert_eq!(*rule as usize, i, "{rule:?} discriminant drifted");
+            assert_eq!(rule.name(), Rule::NAMES[i]);
+            assert!(!rule.obligation().is_empty());
+        }
+    }
+
+    #[test]
+    fn only_end_imbalance_is_a_warning() {
+        for rule in Rule::ALL {
+            let expected = if rule == Rule::UnbalancedAtEnd {
+                Severity::Warning
+            } else {
+                Severity::Error
+            };
+            assert_eq!(rule.severity(), expected, "{rule}");
+        }
+    }
+
+    #[test]
+    fn diagnostics_render_for_humans() {
+        let d = Diagnostic {
+            rule: Rule::DoubleBndclr,
+            op_index: 17,
+            pac: 0xbeef,
+            severity: Rule::DoubleBndclr.severity(),
+            detail: "no live bounds record".to_string(),
+        };
+        let text = d.to_string();
+        assert!(text.contains("double-bndclr"));
+        assert!(text.contains("op 17"));
+        assert!(text.contains("0xbeef"));
+    }
+}

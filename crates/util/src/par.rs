@@ -135,6 +135,10 @@ where
     // worker that won the fetch_add for index `i`, and the scope
     // joins every worker before `slots` is read.
     struct SlotArray<R>(*mut Option<R>);
+    // SAFETY: sharing the base pointer across workers is sound because
+    // each index is claimed by exactly one worker (the fetch_add
+    // winner), so concurrent accesses never alias the same slot, and
+    // `R: Send` lets the written values move to the joining thread.
     unsafe impl<R: Send> Sync for SlotArray<R> {}
     let out = SlotArray(slots.as_mut_ptr());
 

@@ -8,7 +8,7 @@
 //!
 //! - a fixed **taxonomy** of monotonic [`Counter`]s, high-watermark /
 //!   level [`Gauge`]s and power-of-two bucketed [`Hist`]ograms, each
-//!   with a stable wire name (the `aos-campaign-report/v3` counter
+//!   with a stable wire name (the `aos-campaign-report/v4` counter
 //!   keys);
 //! - a [`Telemetry`] **handle** threaded through construction — no
 //!   globals, no locks on the hot path. A disabled handle is a `None`
@@ -48,7 +48,7 @@ use std::sync::Arc;
 /// Monotonic event counters, one per instrumented pipeline event.
 ///
 /// The discriminant is the cell index; [`Counter::NAMES`] (same
-/// order) are the stable wire names used by the v3 campaign report
+/// order) are the stable wire names used by the v4 campaign report
 /// and `aos stats`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
@@ -106,11 +106,15 @@ pub enum Counter {
     HeapAllocs,
     /// Heap frees served.
     HeapFrees,
+    /// Ops scanned by the static protocol linter (`aos-lint`).
+    LintOpsScanned,
+    /// Diagnostics the linter emitted (all rules, all severities).
+    LintDiagnostics,
 }
 
 impl Counter {
     /// Number of counters in the taxonomy.
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 27;
 
     /// Every counter, in cell (and wire) order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -139,6 +143,8 @@ impl Counter {
         Counter::SimViolations,
         Counter::HeapAllocs,
         Counter::HeapFrees,
+        Counter::LintOpsScanned,
+        Counter::LintDiagnostics,
     ];
 
     /// Stable wire names, in the same order as [`Counter::ALL`].
@@ -168,6 +174,8 @@ impl Counter {
         "sim_violations",
         "heap_allocs",
         "heap_frees",
+        "lint_ops_scanned",
+        "lint_diagnostics",
     ];
 
     /// The counter's stable wire name.
@@ -443,7 +451,7 @@ impl TelemetrySnapshot {
         }
     }
 
-    /// The snapshot as a JSON object (the v3 report's per-cell
+    /// The snapshot as a JSON object (the v4 report's per-cell
     /// `telemetry` value). `indent` is the prefix for nested lines;
     /// the opening brace is not indented so the object can sit after
     /// a key.

@@ -19,22 +19,29 @@ cargo test -q
 
 echo "== tier-1: fault-injection smoke (strict) =="
 # Every fault class must be detected under AOS, missed by Baseline,
-# with zero false positives — nonzero exit otherwise.
+# with zero false positives, and the static lint cross-check must be
+# consistent — nonzero exit otherwise.
 cargo run -q --release -p aos-cli -- faults --seeds 2 --strict true
+
+echo "== tier-1: static protocol lint smoke (strict) =="
+# A clean generated trace must carry zero protocol findings.
+cargo run -q --release -p aos-cli -- lint >/dev/null
 
 # Hardened crates must not grow new unwrap() on input-reachable paths,
 # the streaming pipeline must not regress into collect-then-iterate
 # (needless_collect re-materializes traces the refactor made lazy),
-# and library crates must not print to stdout — user-facing output
-# belongs to the CLI and bench binaries, which are exempt from the
-# gate by not being in the crate list.
+# library crates must not print to stdout — user-facing output belongs
+# to the CLI and bench binaries, which are exempt from the gate by not
+# being in the crate list — and every unsafe block or impl must carry
+# a `// SAFETY:` comment stating its soundness argument.
 # The gate is advisory when clippy is not installed (offline image).
 if command -v cargo-clippy >/dev/null 2>&1; then
-    echo "== tier-1: clippy unwrap + needless-collect + print-stdout gate (library crates) =="
-    for crate in aos-util aos-heap aos-mcu aos-hbt aos-isa aos-core aos-fault; do
+    echo "== tier-1: clippy unwrap + needless-collect + print-stdout + undocumented-unsafe gate (library crates) =="
+    for crate in aos-util aos-heap aos-mcu aos-hbt aos-isa aos-core aos-fault aos-lint; do
         cargo clippy -q -p "$crate" --no-deps -- \
             -D clippy::unwrap_used -D clippy::needless_collect \
-            -D clippy::print_stdout
+            -D clippy::print_stdout \
+            -D clippy::undocumented_unsafe_blocks
     done
 else
     echo "== tier-1: clippy not installed, skipping lint gates =="

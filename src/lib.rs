@@ -20,9 +20,11 @@
 //! ```
 
 pub use aos_core as core;
+pub use aos_fault as fault;
 pub use aos_heap as heap;
 pub use aos_hbt as hbt;
 pub use aos_isa as isa;
+pub use aos_lint as lint;
 pub use aos_mcu as mcu;
 pub use aos_ptrauth as ptrauth;
 pub use aos_qarma as qarma;
