@@ -1,0 +1,65 @@
+//! Criterion bench: trace-pipeline shape regression guard. Times the
+//! same `(hmmer, AOS)` cell through each pipeline shape — per-op
+//! streaming, in-thread batched, threaded double-buffered overlap —
+//! plus the batch transport in isolation (generator into an `OpBatch`
+//! arena, no simulation), so a regression in refill, decode, or
+//! rendezvous cost shows up attributed to its stage rather than
+//! smeared across the end-to-end number.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aos_core::experiment::overlap::{run_overlapped, run_overlapped_threaded};
+use aos_core::experiment::{run_metered, SystemUnderTest};
+use aos_core::isa::stream::{BatchSource, OpBatch, OpStream, DEFAULT_BATCH_OPS};
+use aos_core::isa::SafetyConfig;
+use aos_core::sim::Machine;
+use aos_core::workloads::profile::by_name;
+use aos_core::workloads::TraceGenerator;
+
+const SCALE: f64 = 0.01;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let profile = by_name("hmmer").unwrap();
+    let sut = SystemUnderTest::scaled(SafetyConfig::Aos, SCALE);
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("streaming_per_op", |b| {
+        b.iter(|| black_box(run_metered(profile, &sut)))
+    });
+    group.bench_function("batched_in_thread", |b| {
+        b.iter(|| {
+            let gen = TraceGenerator::new(profile, SafetyConfig::Aos, SCALE).metered();
+            black_box(Machine::new(sut.machine_config()).run_batched(gen))
+        })
+    });
+    group.bench_function("batched_overlapped", |b| {
+        b.iter(|| black_box(run_overlapped_threaded(profile, &sut)))
+    });
+    group.bench_function("batched_adaptive", |b| {
+        b.iter(|| black_box(run_overlapped(profile, &sut)))
+    });
+    // Transport only: how fast ops move through the SoA arena without
+    // a machine on the far end.
+    group.bench_function("batch_refill_only", |b| {
+        b.iter(|| {
+            let mut gen = TraceGenerator::new(profile, SafetyConfig::Aos, SCALE);
+            let mut batch = OpBatch::with_capacity(DEFAULT_BATCH_OPS);
+            let mut total = 0usize;
+            loop {
+                batch.clear();
+                let n = gen.refill_batch(&mut batch);
+                if n == 0 {
+                    break;
+                }
+                total += n;
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

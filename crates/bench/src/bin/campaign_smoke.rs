@@ -87,12 +87,22 @@ fn main() {
     let telemetry = report.telemetry();
     println!(
         "telemetry: bwb hit rate {:.2}%, mcq replays {}, forwards {}, \
-         peak occupancy {}, hbt migration rows {}",
+         peak occupancy {}, hbt migration rows {}, batch refills {}",
         telemetry.bwb_hit_rate() * 100.0,
         telemetry.counter(Counter::McqReplays),
         telemetry.counter(Counter::McqForwards),
         telemetry.gauge(Gauge::McqPeakOccupancy),
         telemetry.counter(Counter::HbtMigrationRows),
+        telemetry.counter(Counter::BatchOpsRefilled),
+    );
+    // The committed BENCH_campaign.json is only comparable across PRs
+    // if the schema the runner renders is the one this artifact
+    // advertises — catch a silent schema drift at generation time,
+    // not at review time.
+    assert!(
+        report.to_json().contains("\"schema\": \"aos-campaign-report/v4\""),
+        "campaign report schema drifted from aos-campaign-report/v4; \
+         bump this assert and regenerate the committed artifact together"
     );
     match report.write_json(&out_path) {
         Ok(()) => println!("report written to {out_path}"),

@@ -18,6 +18,7 @@ use aos_sim::{Machine, MachineConfig, RunStats};
 use aos_workloads::{TraceGenerator, WorkloadProfile};
 
 pub mod campaign;
+pub mod overlap;
 
 /// A fully specified system configuration to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,7 +109,10 @@ pub fn run(profile: &WorkloadProfile, sut: &SystemUnderTest) -> RunStats {
 /// flows through [`aos_isa::stream::Metered`] so the cell can report
 /// how many ops it simulated and how much trace the pipeline ever held
 /// buffered (the generator's event buffer — `O(window)`, not the
-/// trace). This is the campaign runner's default cell body.
+/// trace). The campaign's default cell body is the double-buffered
+/// [`overlap::run_overlapped`], which produces identical stats; this
+/// per-op variant remains the equivalence reference the batched path
+/// is pinned against.
 pub fn run_metered(profile: &WorkloadProfile, sut: &SystemUnderTest) -> campaign::CellOutput {
     use aos_isa::stream::{BufferedOps, OpStream};
 

@@ -18,7 +18,7 @@ use aos_sim::Machine;
 use aos_util::AosError;
 use aos_workloads::{TraceGenerator, WorkloadProfile};
 
-use crate::inject::{plan_fault, FaultKind, FaultPlan, FaultSpec};
+use crate::inject::{plan_fault_batched, FaultKind, FaultPlan, FaultSpec};
 use crate::oracle::{FaultTrial, TrialMatrix};
 
 /// What to sweep.
@@ -227,7 +227,7 @@ pub fn run_fault_campaign(config: &FaultCampaignConfig) -> Result<FaultCampaignO
     for &kind in &config.kinds {
         for &seed in &config.seeds {
             let spec = FaultSpec { kind, seed };
-            plans.push(plan_fault(
+            plans.push(plan_fault_batched(
                 stream(&config.profile, config.scale),
                 layout,
                 spec,

@@ -35,7 +35,8 @@ pub use campaign::{
     LintKindCheck,
 };
 pub use inject::{
-    inject, plan_fault, FaultAction, FaultKind, FaultPlan, FaultSpec, FaultStream, Injection,
+    inject, plan_fault, plan_fault_batched, FaultAction, FaultKind, FaultPlan, FaultSpec,
+    FaultStream, Injection,
     UAF_DELAY_OPS,
 };
 pub use oracle::{run_trial, FaultTrial, TrialMatrix, Verdict};

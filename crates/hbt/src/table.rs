@@ -494,9 +494,17 @@ impl HashedBoundsTable {
     pub fn peek_way(&self, pac: u64, way: u32) -> [CompressedBounds; BOUNDS_PER_WAY as usize] {
         self.assert_pac(pac);
         assert!(way < self.ways, "way {way} out of range");
+        // Route once for the whole line — the eight slots of a way are
+        // contiguous, so this is one migration decision and one index
+        // computation instead of eight of each.
+        let (data, ways): (&[u64], u32) = match &self.migration {
+            Some(m) if way < m.old_ways && pac >= m.row_ptr => (&m.old_data, m.old_ways),
+            _ => (&self.data, self.ways),
+        };
+        let base = flat_index(ways, pac, way, 0);
         let mut out = [CompressedBounds::EMPTY; BOUNDS_PER_WAY as usize];
         for (slot, rec) in out.iter_mut().enumerate() {
-            *rec = CompressedBounds::from_raw(self.slot_value(pac, way, slot as u32));
+            *rec = CompressedBounds::from_raw(data[base + slot]);
         }
         out
     }

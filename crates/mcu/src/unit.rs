@@ -174,6 +174,10 @@ pub struct McuStats {
     pub completed_checks: u64,
     /// Exceptions raised.
     pub exceptions: u64,
+    /// Entries that completed and left the queue cleanly.
+    pub retired: u64,
+    /// Highest queue occupancy ever reached.
+    pub peak_occupancy: u64,
 }
 
 impl McuStats {
@@ -195,9 +199,33 @@ pub struct MemoryCheckUnit {
     config: McuConfig,
     layout: PointerLayout,
     queue: Vec<McqEntry>,
+    /// In-flight `BndStr` entries — the forwarding scan in
+    /// [`step_init`](Self::step_init) only matches bounds stores, so
+    /// it is skipped outright while this is zero (the common case).
+    bndstr_live: u32,
+    /// Lower bound on the earliest `ready_at` of any non-terminal
+    /// entry. While `now` is below it (and nothing is releasable or
+    /// failing at the head), [`tick`](Self::tick) returns without
+    /// touching the queue at all. Recomputed exactly whenever the
+    /// step pass runs; mutations between ticks only ever lower it.
+    ready_floor: u64,
+    /// Whether a ROB commit since the last tick may have turned a
+    /// `Done` bndstr/bndclr releasable. Entries that reach `Done`
+    /// *during* a tick are released by that same tick's drain pass, so
+    /// between ticks this flag is the only releasable-entry source.
+    release_pending: bool,
     bwb: BoundsWayBuffer,
     next_id: u64,
     stats: McuStats,
+    /// Stats already published to telemetry; see
+    /// [`flush_telemetry`](Self::flush_telemetry).
+    published: McuStats,
+    /// Whether [`tick`](Self::tick) reports clean completions as
+    /// [`McuEvent::Retired`]. The timing simulator only consumes
+    /// exception events, so it turns this off and saves one event
+    /// push-and-scan per retired operation; the functional path
+    /// ([`run_sync`](Self::run_sync)) forces it back on.
+    emit_retired: bool,
     /// Scratch event buffer reused across [`MemoryCheckUnit::run_sync`]
     /// calls — the functional machine runs one `run_sync` per
     /// load/store, so a per-call `Vec` allocation is hot-path churn.
@@ -212,12 +240,51 @@ impl MemoryCheckUnit {
             config,
             layout,
             queue: Vec::with_capacity(config.mcq_entries),
+            bndstr_live: 0,
+            ready_floor: u64::MAX,
+            release_pending: false,
             bwb: BoundsWayBuffer::new(config.bwb_entries),
             next_id: 0,
             stats: McuStats::default(),
+            published: McuStats::default(),
+            emit_retired: true,
             sync_events: Vec::new(),
             telemetry: aos_util::Telemetry::disabled(),
         }
+    }
+
+    /// Enables or disables [`McuEvent::Retired`] emission from
+    /// [`tick`](Self::tick). Exception events are always emitted.
+    pub fn set_emit_retired(&mut self, on: bool) {
+        self.emit_retired = on;
+    }
+
+    /// Publishes whatever the stats counters accumulated since the
+    /// last flush into the telemetry registry, in one batch (including
+    /// the internal BWB's counters). Called at the end of a run; the
+    /// totals are identical to per-event counting, but the per-op hot
+    /// paths stay free of telemetry traffic.
+    pub fn flush_telemetry(&mut self) {
+        use aos_util::Counter;
+        let d = [
+            (Counter::McqEnqueued, self.stats.issued - self.published.issued),
+            (Counter::McqRetired, self.stats.retired - self.published.retired),
+            (Counter::McqForwards, self.stats.forwards - self.published.forwards),
+            (Counter::McqReplays, self.stats.replays - self.published.replays),
+            (
+                Counter::McqExceptions,
+                self.stats.exceptions - self.published.exceptions,
+            ),
+        ];
+        for (counter, delta) in d {
+            if delta > 0 {
+                self.telemetry.add(counter, delta);
+            }
+        }
+        self.telemetry
+            .gauge_max(aos_util::Gauge::McqPeakOccupancy, self.stats.peak_occupancy);
+        self.published = self.stats;
+        self.bwb.flush_telemetry();
     }
 
     /// Attaches a telemetry handle (shared with the internal BWB):
@@ -298,15 +365,14 @@ impl MemoryCheckUnit {
         let id = self.next_id;
         self.next_id += 1;
         self.stats.issued += 1;
-        self.telemetry.count(aos_util::Counter::McqEnqueued);
-        self.telemetry.gauge_max(
-            aos_util::Gauge::McqPeakOccupancy,
-            self.queue.len() as u64 + 1,
-        );
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.queue.len() as u64 + 1);
         match op {
             McuOp::Access { .. } if ahc.is_some() => self.stats.signed_accesses += 1,
             McuOp::Access { .. } => self.stats.unsigned_accesses += 1,
-            McuOp::BndStr { .. } => self.stats.bndstrs += 1,
+            McuOp::BndStr { .. } => {
+                self.stats.bndstrs += 1;
+                self.bndstr_live += 1;
+            }
             McuOp::BndClr { .. } => self.stats.bndclrs += 1,
         }
         self.queue.push(McqEntry {
@@ -331,27 +397,38 @@ impl MemoryCheckUnit {
             forwarded: false,
             malformed,
         });
+        self.ready_floor = self.ready_floor.min(now);
         Ok(id)
+    }
+
+    /// Index of entry `id` in the queue. Ids are handed out in issue
+    /// order and every removal preserves relative order, so the queue
+    /// is always sorted by id and the lookup is a binary search — the
+    /// per-retire cost the linear scans used to pay on a 48-deep MCQ.
+    #[inline]
+    fn index_of(&self, id: u64) -> Option<usize> {
+        self.queue.binary_search_by_key(&id, |e| e.id).ok()
     }
 
     /// Marks an entry as committed by the ROB.
     pub fn mark_committed(&mut self, id: u64) {
-        if let Some(e) = self.queue.iter_mut().find(|e| e.id == id) {
-            e.committed = true;
+        if let Some(i) = self.index_of(id) {
+            self.queue[i].committed = true;
+            self.release_pending = true;
         }
     }
 
     /// Current FSM state of an entry, if still queued.
     pub fn state_of(&self, id: u64) -> Option<McqState> {
-        self.queue.iter().find(|e| e.id == id).map(|e| e.state)
+        self.index_of(id).map(|i| self.queue[i].state)
     }
 
     /// Whether the instruction may retire from the ROB: its check is
     /// complete (or it never needed one). Entries no longer in the
     /// queue have retired already.
     pub fn check_complete(&self, id: u64) -> bool {
-        match self.queue.iter().find(|e| e.id == id) {
-            Some(e) => e.state == McqState::Done,
+        match self.index_of(id) {
+            Some(i) => self.queue[i].state == McqState::Done,
             None => true,
         }
     }
@@ -361,21 +438,92 @@ impl MemoryCheckUnit {
     /// only need their occupancy check finished — their table store is
     /// sent *after* commit to preserve store ordering.
     pub fn can_retire(&self, id: u64) -> bool {
-        match self.queue.iter().find(|e| e.id == id) {
+        match self.index_of(id) {
             None => true,
-            Some(e) => match e.op {
-                McuOp::Access { .. } => e.state == McqState::Done,
-                McuOp::BndStr { .. } | McuOp::BndClr { .. } => {
-                    matches!(e.state, McqState::BndStr | McqState::Done)
-                }
-            },
+            Some(i) => Self::retirable(&self.queue[i]),
         }
+    }
+
+    #[inline]
+    fn retirable(e: &McqEntry) -> bool {
+        match e.op {
+            McuOp::Access { .. } => e.state == McqState::Done,
+            McuOp::BndStr { .. } | McuOp::BndClr { .. } => {
+                matches!(e.state, McqState::BndStr | McqState::Done)
+            }
+        }
+    }
+
+    /// [`MemoryCheckUnit::can_retire`] and
+    /// [`MemoryCheckUnit::mark_committed`] fused into one queue lookup
+    /// — the ROB retire stage always performs them back to back, and on
+    /// the hot path the second binary search is pure overhead. Returns
+    /// whether the instruction retired (and was marked committed).
+    pub fn commit_if_retirable(&mut self, id: u64) -> bool {
+        match self.index_of(id) {
+            None => true,
+            Some(i) => {
+                let ok = Self::retirable(&self.queue[i]);
+                if ok {
+                    self.queue[i].committed = true;
+                    self.release_pending = true;
+                }
+                ok
+            }
+        }
+    }
+
+    /// The next cycle at which [`MemoryCheckUnit::tick`] can possibly
+    /// make progress, or `u64::MAX` when every queued entry is waiting
+    /// on an external stimulus (a ROB commit or an OS retry/drop). The
+    /// timing simulator uses this to fast-forward over stall cycles
+    /// without stepping the FSM through each one.
+    pub fn next_wake(&self, now: u64) -> u64 {
+        let mut wake = u64::MAX;
+        for (i, e) in self.queue.iter().enumerate() {
+            let w = match e.state {
+                // A Done entry releases on the next tick — unless it is
+                // a bndstr/bndclr still waiting for its ROB commit.
+                McqState::Done => {
+                    if matches!(e.op, McuOp::Access { .. }) || e.committed {
+                        now + 1
+                    } else {
+                        u64::MAX
+                    }
+                }
+                // A failed head raises its exception next tick; failed
+                // entries elsewhere sit until the OS intervenes or the
+                // head drains (itself a wake event).
+                McqState::Fail => {
+                    if i == 0 && !e.reported {
+                        now + 1
+                    } else {
+                        u64::MAX
+                    }
+                }
+                // The post-commit table store only runs once committed.
+                McqState::BndStr => {
+                    if e.committed {
+                        e.ready_at.max(now + 1)
+                    } else {
+                        u64::MAX
+                    }
+                }
+                McqState::Init | McqState::BndChk | McqState::OccChk => e.ready_at.max(now + 1),
+            };
+            wake = wake.min(w);
+            if wake == now + 1 {
+                break;
+            }
+        }
+        wake
     }
 
     /// Resets a failed (or in-flight) entry to retry from scratch —
     /// the OS path after resizing the table on a `bndstr` failure.
     pub fn retry(&mut self, id: u64) {
-        if let Some(e) = self.queue.iter_mut().find(|e| e.id == id) {
+        if let Some(i) = self.index_of(id) {
+            let e = &mut self.queue[i];
             // A malformed bndstr can never succeed; it stays failed no
             // matter how often the OS retries.
             e.state = if e.malformed {
@@ -388,49 +536,82 @@ impl MemoryCheckUnit {
             e.hit = None;
             e.reported = false;
             e.ready_at = 0;
+            self.ready_floor = 0;
         }
     }
 
     /// Removes a failed head entry (OS chose to terminate/skip).
     pub fn drop_failed(&mut self, id: u64) {
-        self.queue.retain(|e| e.id != id);
+        if let Some(i) = self.index_of(id) {
+            let e = self.queue.remove(i);
+            if matches!(e.op, McuOp::BndStr { .. }) {
+                self.bndstr_live -= 1;
+            }
+        }
     }
 
     /// Clears the whole queue (process teardown).
     pub fn flush(&mut self) {
         self.queue.clear();
+        self.bndstr_live = 0;
+        self.ready_floor = u64::MAX;
+        self.release_pending = false;
     }
 
     /// Advances every ready entry by one FSM step and retires
     /// completed head entries. Events are appended to `events` (an
     /// out-buffer so the per-cycle hot path does not allocate).
-    pub fn tick(
+    pub fn tick<M: BoundsMemory + ?Sized>(
         &mut self,
         now: u64,
         hbt: &mut HashedBoundsTable,
-        mem: &mut dyn BoundsMemory,
+        mem: &mut M,
         events: &mut Vec<McuEvent>,
     ) {
+        // O(1) idle check: nothing can step before `ready_floor`, no
+        // commit has armed a release since the last pass, and the head
+        // has no unreported failure. Most cycles (entries waiting on
+        // memory latencies or ROB commits) the tick ends right here
+        // without touching the queue.
+        let head_fail = self
+            .queue
+            .first()
+            .is_some_and(|e| e.state == McqState::Fail && !e.reported);
+        if now < self.ready_floor && !self.release_pending && !head_fail {
+            return;
+        }
+
         let ways = hbt.ways();
+        let mut floor = u64::MAX;
         for i in 0..self.queue.len() {
-            if self.queue[i].is_terminal() || self.queue[i].ready_at > now {
+            let e = &self.queue[i];
+            if e.is_terminal() {
                 continue;
             }
-            match self.queue[i].state {
+            if e.ready_at > now {
+                floor = floor.min(e.ready_at);
+                continue;
+            }
+            match e.state {
                 McqState::Init => self.step_init(i, now, hbt, mem, ways),
                 McqState::BndChk => self.step_bndchk(i, now, hbt, mem, ways),
                 McqState::OccChk => self.step_occchk(i, now, hbt, mem, ways),
                 McqState::BndStr => self.step_bndstr(i, now, hbt, mem),
                 McqState::Fail | McqState::Done => {}
             }
+            let e = &self.queue[i];
+            if !e.is_terminal() {
+                floor = floor.min(e.ready_at);
+            }
         }
+        self.ready_floor = floor;
+        self.release_pending = false;
 
         // A failed entry at the head raises its exception (once).
         if let Some(head) = self.queue.first_mut() {
             if head.state == McqState::Fail && !head.reported {
                 head.reported = true;
                 self.stats.exceptions += 1;
-                self.telemetry.count(aos_util::Counter::McqExceptions);
                 let exception = match head.op {
                     McuOp::Access { pointer, is_store } => {
                         AosException::BoundsCheckFailure { pointer, is_store }
@@ -453,43 +634,60 @@ impl MemoryCheckUnit {
         // queue out of order; bndstr/bndclr additionally wait for ROB
         // commit because their table store is sent post-commit (and
         // commits arrive in program order, so bounds stores stay
-        // ordered).
-        let mut i = 0;
-        while i < self.queue.len() {
-            let e = &self.queue[i];
+        // ordered). One in-place compaction pass: a `Vec::remove` per
+        // released entry would memmove the tail once per release.
+        let len = self.queue.len();
+        let mut write = 0;
+        for read in 0..len {
+            let e = &self.queue[read];
             let releasable = e.state == McqState::Done
                 && (matches!(e.op, McuOp::Access { .. }) || e.committed);
             if !releasable {
-                i += 1;
+                if write != read {
+                    self.queue.swap(write, read);
+                }
+                write += 1;
                 continue;
             }
-            let entry = self.queue.remove(i);
-            let ways_touched = if entry.is_signed_access() && !entry.forwarded {
-                entry.count + 1
-            } else {
-                0
+            let (id, op, addr, pac, ahc, hit, count, forwarded, is_signed) = {
+                let e = &self.queue[read];
+                (
+                    e.id,
+                    e.op,
+                    e.addr,
+                    e.pac,
+                    e.ahc,
+                    e.hit,
+                    e.count,
+                    e.forwarded,
+                    e.is_signed_access(),
+                )
             };
-            if self.config.use_bwb && !entry.forwarded {
-                if let (Some(ahc), Some((way, _))) = (entry.ahc, entry.hit) {
-                    if matches!(entry.op, McuOp::Access { .. }) {
-                        self.bwb.update(bwb_tag(entry.addr, ahc, entry.pac), way);
+            if matches!(op, McuOp::BndStr { .. }) {
+                self.bndstr_live -= 1;
+            }
+            let ways_touched = if is_signed && !forwarded { count + 1 } else { 0 };
+            if self.config.use_bwb && !forwarded {
+                if let (Some(ahc), Some((way, _))) = (ahc, hit) {
+                    if matches!(op, McuOp::Access { .. }) {
+                        self.bwb.update(bwb_tag(addr, ahc, pac), way);
                     }
                 }
             }
-            self.telemetry.count(aos_util::Counter::McqRetired);
-            events.push(McuEvent::Retired {
-                id: entry.id,
-                ways_touched,
-            });
+            self.stats.retired += 1;
+            if self.emit_retired {
+                events.push(McuEvent::Retired { id, ways_touched });
+            }
         }
+        self.queue.truncate(write);
     }
 
-    fn step_init(
+    fn step_init<M: BoundsMemory + ?Sized>(
         &mut self,
         i: usize,
         now: u64,
         hbt: &HashedBoundsTable,
-        mem: &mut dyn BoundsMemory,
+        mem: &mut M,
         ways: u32,
     ) {
         match self.queue[i].op {
@@ -502,7 +700,7 @@ impl MemoryCheckUnit {
                 let (pac, addr) = (self.queue[i].pac, self.queue[i].addr);
                 // Store→load bounds forwarding from an older in-flight
                 // bndstr with the same PAC whose bounds cover us.
-                if self.config.bounds_forwarding {
+                if self.config.bounds_forwarding && self.bndstr_live > 0 {
                     let forwarded = self.queue[..i].iter().any(|e| {
                         matches!(e.op, McuOp::BndStr { .. })
                             && e.pac == pac
@@ -511,7 +709,6 @@ impl MemoryCheckUnit {
                     });
                     if forwarded {
                         self.stats.forwards += 1;
-                        self.telemetry.count(aos_util::Counter::McqForwards);
                         let e = &mut self.queue[i];
                         e.forwarded = true;
                         e.state = McqState::Done;
@@ -549,12 +746,12 @@ impl MemoryCheckUnit {
         }
     }
 
-    fn step_bndchk(
+    fn step_bndchk<M: BoundsMemory + ?Sized>(
         &mut self,
         i: usize,
         now: u64,
         hbt: &HashedBoundsTable,
-        mem: &mut dyn BoundsMemory,
+        mem: &mut M,
         ways: u32,
     ) {
         let (pac, addr, way) = (self.queue[i].pac, self.queue[i].addr, self.queue[i].way);
@@ -584,12 +781,12 @@ impl MemoryCheckUnit {
         self.queue[i].ready_at = now + 1 + mem.load_line(line_addr);
     }
 
-    fn step_occchk(
+    fn step_occchk<M: BoundsMemory + ?Sized>(
         &mut self,
         i: usize,
         now: u64,
         hbt: &HashedBoundsTable,
-        mem: &mut dyn BoundsMemory,
+        mem: &mut M,
         ways: u32,
     ) {
         let (pac, addr, way) = (self.queue[i].pac, self.queue[i].addr, self.queue[i].way);
@@ -621,12 +818,12 @@ impl MemoryCheckUnit {
         self.queue[i].ready_at = now + 1 + mem.load_line(line_addr);
     }
 
-    fn step_bndstr(
+    fn step_bndstr<M: BoundsMemory + ?Sized>(
         &mut self,
         i: usize,
         now: u64,
         hbt: &mut HashedBoundsTable,
-        mem: &mut dyn BoundsMemory,
+        mem: &mut M,
     ) {
         if !self.queue[i].committed {
             // Bounds stores must preserve store ordering: wait for the
@@ -666,7 +863,6 @@ impl MemoryCheckUnit {
                 e.reported = false;
                 e.ready_at = now + 1;
                 self.stats.replays += 1;
-                self.telemetry.count(aos_util::Counter::McqReplays);
             }
         }
     }
@@ -696,6 +892,10 @@ impl MemoryCheckUnit {
         let mut mem = ZeroLatencyMemory;
         let mut events = std::mem::take(&mut self.sync_events);
         events.clear();
+        // The loop below keys off the Retired event, so emission must
+        // be on regardless of how the owner configured the unit.
+        let saved_emit = self.emit_retired;
+        self.emit_retired = true;
         let mut outcome = None;
         for now in 0..BOUNDS_PER_WAY as u64 * 4096 {
             self.tick(now, hbt, &mut mem, &mut events);
@@ -703,6 +903,9 @@ impl MemoryCheckUnit {
                 outcome = Some(match ev {
                     McuEvent::Exception { exception, .. } => {
                         self.queue.clear();
+                        self.bndstr_live = 0;
+                        self.ready_floor = u64::MAX;
+                        self.release_pending = false;
                         Err(exception)
                     }
                     McuEvent::Retired { ways_touched, .. } => Ok(CheckOutcome {
@@ -715,6 +918,8 @@ impl MemoryCheckUnit {
             }
         }
         self.sync_events = events;
+        self.emit_retired = saved_emit;
+        self.flush_telemetry();
         outcome.expect("MCQ FSM did not converge")
     }
 }

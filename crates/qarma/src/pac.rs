@@ -1,9 +1,7 @@
 //! The `ComputePAC` datapath: whitening, five forward rounds, the
 //! reflector, five backward rounds.
 
-use crate::ops::{
-    cell_inv_shuffle, cell_shuffle, inv_sub, mult, sub, tweak_inv_shuffle, tweak_shuffle,
-};
+use crate::ops::{cell_inv_shuffle, cell_shuffle, inv_sub, mult, sub, tweak_shuffle};
 
 /// Round constants c₀..c₄ (leading digits of π, shared with PRINCE).
 const RC: [u64; 5] = [
@@ -123,50 +121,172 @@ impl Qarma64 {
         self.key
     }
 
-    /// Runs `ComputePAC(data, modifier)`: the full 64-bit cipher
-    /// output, before PAC truncation.
-    pub fn compute(&self, data: u64, modifier: u64) -> u64 {
+    /// The tweak sequence t₀..t₅ a single `ComputePAC` invocation walks
+    /// through: t₀ is the modifier, tᵢ₊₁ = `tweak_shuffle(tᵢ)`. Forward
+    /// round *i* consumes tᵢ, the central construction t₅, and backward
+    /// round *i* re-consumes t₄₋ᵢ — so with the sequence in hand no
+    /// inverse shuffles are needed at all.
+    #[inline]
+    fn tweak_schedule(modifier: u64) -> [u64; 6] {
+        let mut t = [modifier; 6];
+        for i in 1..t.len() {
+            t[i] = tweak_shuffle(t[i - 1]);
+        }
+        t
+    }
+
+    /// The cipher datapath over `L` independent lanes sharing one tweak
+    /// schedule. The round structure is the outer loop and the lanes the
+    /// inner one, so every per-cell shuffle/S-box/MixColumns step runs
+    /// as `L` independent dependency chains — autovectorizable shifts
+    /// and masks with no per-call setup.
+    #[inline]
+    fn compute_lanes<const L: usize>(&self, data: &[u64; L], tweaks: &[u64; 6]) -> [u64; L] {
         let key0 = self.key.hi;
         let key1 = self.key.lo;
-        let mut running_mod = modifier;
-        let mut w = data ^ key0;
+        let mut w = *data;
+        for lane in &mut w {
+            *lane ^= key0;
+        }
 
         for (i, round_key) in self.fwd_keys.iter().enumerate() {
-            w ^= round_key ^ running_mod;
-            if i > 0 {
-                w = cell_shuffle(w);
-                w = mult(w);
+            let k = round_key ^ tweaks[i];
+            for lane in &mut w {
+                let mut x = *lane ^ k;
+                if i > 0 {
+                    x = cell_shuffle(x);
+                    x = mult(x);
+                }
+                *lane = sub(x);
             }
-            w = sub(w);
-            running_mod = tweak_shuffle(running_mod);
         }
 
         // Central construction: full forward round keyed by
         // o(key0) ⊕ tweak, the keyed reflector, full backward round
         // keyed by key0 ⊕ tweak.
-        w ^= self.modk0 ^ running_mod;
-        w = cell_shuffle(w);
-        w = mult(w);
-        w = sub(w);
-        w = cell_shuffle(w);
-        w = mult(w);
-        w ^= key1;
-        w = cell_inv_shuffle(w);
-        w = inv_sub(w);
-        w = mult(w);
-        w = cell_inv_shuffle(w);
-        w ^= key0 ^ running_mod;
+        let center_key = self.modk0 ^ tweaks[5];
+        let exit_key = key0 ^ tweaks[5];
+        for lane in &mut w {
+            let mut x = *lane ^ center_key;
+            x = cell_shuffle(x);
+            x = mult(x);
+            x = sub(x);
+            x = cell_shuffle(x);
+            x = mult(x);
+            x ^= key1;
+            x = cell_inv_shuffle(x);
+            x = inv_sub(x);
+            x = mult(x);
+            x = cell_inv_shuffle(x);
+            *lane = x ^ exit_key;
+        }
 
         for (i, round_key) in self.bwd_keys.iter().enumerate() {
-            w = inv_sub(w);
-            if i < RC.len() - 1 {
-                w = mult(w);
-                w = cell_inv_shuffle(w);
+            let k = round_key ^ tweaks[RC.len() - 1 - i];
+            for lane in &mut w {
+                let mut x = inv_sub(*lane);
+                if i < RC.len() - 1 {
+                    x = mult(x);
+                    x = cell_inv_shuffle(x);
+                }
+                *lane = x ^ k;
             }
-            running_mod = tweak_inv_shuffle(running_mod);
-            w ^= round_key ^ running_mod;
         }
-        w ^ self.modk0
+
+        for lane in &mut w {
+            *lane ^= self.modk0;
+        }
+        w
+    }
+
+    /// Runs `ComputePAC(data, modifier)`: the full 64-bit cipher
+    /// output, before PAC truncation.
+    pub fn compute(&self, data: u64, modifier: u64) -> u64 {
+        self.compute_lanes(&[data], &Self::tweak_schedule(modifier))[0]
+    }
+
+    /// How many pointers [`Qarma64::compute_batch`] ciphers per inner
+    /// lane group. Chosen to fill 512-bit vector units (8 × u64) while
+    /// keeping the lane state register-resident.
+    pub const BATCH_LANES: usize = 8;
+
+    /// Runs `ComputePAC` over a batch: `out[i] = compute(data[i],
+    /// modifiers[i])`, bit-identical to the per-call path.
+    ///
+    /// When every modifier in the batch is equal — the common case for
+    /// pointer signing, where the modifier is a fixed context — the
+    /// tweak schedule is derived once for the whole batch and the
+    /// cipher runs [`Qarma64::BATCH_LANES`] lanes at a time. Mixed
+    /// modifiers fall back to per-element schedules but still skip the
+    /// inverse tweak shuffles of the backward half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data`, `modifiers`, and `out` differ in length.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aos_qarma::{PacKey, Qarma64};
+    /// let q = Qarma64::new(PacKey::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9));
+    /// let data = [0xfb623599da6e8127u64; 3];
+    /// let modifiers = [0x477d469dec0b8762u64; 3];
+    /// let mut out = [0u64; 3];
+    /// q.compute_batch(&data, &modifiers, &mut out);
+    /// assert_eq!(out, [0xc003b93999b33765; 3]);
+    /// ```
+    pub fn compute_batch(&self, data: &[u64], modifiers: &[u64], out: &mut [u64]) {
+        assert_eq!(data.len(), modifiers.len(), "data/modifier length mismatch");
+        assert_eq!(data.len(), out.len(), "data/out length mismatch");
+        let Some(&first) = modifiers.first() else {
+            return;
+        };
+
+        if modifiers.iter().all(|&m| m == first) {
+            self.compute_batch_uniform(data, first, out);
+        } else {
+            for ((&d, &m), o) in data.iter().zip(modifiers).zip(out.iter_mut()) {
+                *o = self.compute(d, m);
+            }
+        }
+    }
+
+    /// The uniform-modifier fast path of [`Qarma64::compute_batch`],
+    /// callable directly when the caller knows the whole batch shares
+    /// one modifier (pointer signing under a fixed context) — no
+    /// modifier slice to materialize, no equality scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` and `out` differ in length.
+    pub fn compute_batch_uniform(&self, data: &[u64], modifier: u64, out: &mut [u64]) {
+        assert_eq!(data.len(), out.len(), "data/out length mismatch");
+        let tweaks = Self::tweak_schedule(modifier);
+        let mut chunks = data.chunks_exact(Self::BATCH_LANES);
+        let mut outs = out.chunks_exact_mut(Self::BATCH_LANES);
+        for (d, o) in (&mut chunks).zip(&mut outs) {
+            let lanes: &[u64; Self::BATCH_LANES] =
+                d.try_into().expect("chunks_exact yields full chunks");
+            o.copy_from_slice(&self.compute_lanes(lanes, &tweaks));
+        }
+        for (&d, o) in chunks.remainder().iter().zip(outs.into_remainder()) {
+            *o = self.compute_lanes(&[d], &tweaks)[0];
+        }
+    }
+
+    /// [`Qarma64::compute_batch`], recording one
+    /// [`Counter::PacComputations`](aos_util::telemetry::Counter) event
+    /// per element so batched signing stays indistinguishable from
+    /// per-call signing in the telemetry report.
+    pub fn compute_batch_with(
+        &self,
+        data: &[u64],
+        modifiers: &[u64],
+        out: &mut [u64],
+        telemetry: &aos_util::Telemetry,
+    ) {
+        telemetry.add(aos_util::Counter::PacComputations, data.len() as u64);
+        self.compute_batch(data, modifiers, out);
     }
 
     /// [`Qarma64::compute`], recording the invocation as a
@@ -245,6 +365,7 @@ impl Qarma64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::tweak_inv_shuffle;
 
     /// Reference vectors generated from QEMU's independent
     /// implementation of the Armv8.3 `ComputePAC` pseudocode
@@ -442,6 +563,81 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.key(), PacKey::new(7, 9));
+    }
+
+    #[test]
+    fn compute_batch_matches_per_call_uniform_modifier() {
+        // The lane-parallel fast path: one modifier shared by the whole
+        // batch, lengths that exercise full lane groups, the scalar
+        // remainder, and the empty batch.
+        let q = Qarma64::new(PacKey::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9));
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        for len in [0usize, 1, 7, 8, 9, 16, 37] {
+            let data: Vec<u64> = (0..len)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x
+                })
+                .collect();
+            let modifiers = vec![0x477d_469d_ec0b_8762u64; len];
+            let mut out = vec![0u64; len];
+            q.compute_batch(&data, &modifiers, &mut out);
+            for i in 0..len {
+                assert_eq!(out[i], q.compute(data[i], modifiers[i]), "len={len} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn compute_batch_matches_per_call_mixed_modifiers() {
+        let q = Qarma64::new(PacKey::new(0x0123456789abcdef, 0xfedcba9876543210));
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut data = Vec::new();
+        let mut modifiers = Vec::new();
+        for i in 0..23u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            data.push(x);
+            modifiers.push(x.rotate_left(13) ^ i);
+        }
+        let mut out = vec![0u64; data.len()];
+        q.compute_batch(&data, &modifiers, &mut out);
+        for i in 0..data.len() {
+            assert_eq!(out[i], q.compute(data[i], modifiers[i]), "i={i}");
+        }
+    }
+
+    #[test]
+    fn compute_batch_hits_qemu_vectors() {
+        for &(data, modifier, hi, lo, want) in &VECTORS {
+            let q = Qarma64::new(PacKey::new(hi, lo));
+            let mut out = [0u64; Qarma64::BATCH_LANES + 3];
+            let d = [data; Qarma64::BATCH_LANES + 3];
+            let m = [modifier; Qarma64::BATCH_LANES + 3];
+            q.compute_batch(&d, &m, &mut out);
+            assert!(out.iter().all(|&o| o == want), "data={data:#x}");
+        }
+    }
+
+    #[test]
+    fn compute_batch_with_counts_every_element() {
+        let telemetry = aos_util::Telemetry::enabled();
+        let q = Qarma64::new(PacKey::new(1, 2));
+        let data = [3u64; 11];
+        let modifiers = [4u64; 11];
+        let mut out = [0u64; 11];
+        q.compute_batch_with(&data, &modifiers, &mut out, &telemetry);
+        assert_eq!(
+            telemetry.snapshot().counter(aos_util::Counter::PacComputations),
+            11
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn compute_batch_rejects_mismatched_lengths() {
+        let q = Qarma64::new(PacKey::new(1, 2));
+        let mut out = [0u64; 2];
+        q.compute_batch(&[1, 2, 3], &[0, 0, 0], &mut out);
     }
 
     #[test]

@@ -85,7 +85,15 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines in one flat allocation: set `s`, way `w` lives at
+    /// `s * ways + w`. The geometry is asserted power-of-two, so the
+    /// per-access address split is a shift and a mask instead of
+    /// three integer divisions.
+    lines: Vec<Line>,
+    ways: usize,
+    line_shift: u32,
+    set_mask: u64,
+    set_shift: u32,
     stats: CacheStats,
     tick: u64,
 }
@@ -104,7 +112,11 @@ impl Cache {
         assert!(sets > 0 && sets.is_power_of_two(), "sets must be 2^k, got {sets}");
         Self {
             config,
-            sets: vec![vec![Line::default(); config.ways as usize]; sets as usize],
+            lines: vec![Line::default(); (sets * config.ways as u64) as usize],
+            ways: config.ways as usize,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            set_shift: sets.trailing_zeros(),
             stats: CacheStats::default(),
             tick: 0,
         }
@@ -120,26 +132,32 @@ impl Cache {
         self.stats
     }
 
+    #[inline]
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.config.line_bytes as u64;
-        let set = (line % self.config.sets()) as usize;
-        let tag = line / self.config.sets();
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
         (set, tag)
     }
 
-    /// Accesses the line containing `addr`, allocating on miss.
-    pub fn access(&mut self, addr: u64, is_write: bool) -> Lookup {
+    #[inline]
+    fn victim_address(&self, tag: u64, set_idx: usize) -> u64 {
+        ((tag << self.set_shift) | set_idx as u64) << self.line_shift
+    }
+
+    /// The hit/fill body shared by [`access`](Self::access) and
+    /// [`install`](Self::install). Returns `(hit, writeback)`.
+    #[inline]
+    fn touch(&mut self, addr: u64, is_write: bool) -> (bool, Option<u64>) {
         self.tick += 1;
         let tick = self.tick;
         let (set_idx, tag) = self.set_and_tag(addr);
-        let set = &mut self.sets[set_idx];
+        let set = &mut self.lines[set_idx * self.ways..(set_idx + 1) * self.ways];
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.lru = tick;
             line.dirty |= is_write;
-            self.stats.hits += 1;
-            return Lookup::Hit;
+            return (true, None);
         }
-        self.stats.misses += 1;
         // Victim: invalid line first, else LRU.
         let victim_idx = set
             .iter()
@@ -151,62 +169,41 @@ impl Cache {
                     .map(|(i, _)| i)
                     .expect("nonzero associativity")
             });
-        let victim = &mut set[victim_idx];
+        let victim = std::mem::replace(
+            &mut set[victim_idx],
+            Line {
+                tag,
+                valid: true,
+                dirty: is_write,
+                lru: tick,
+            },
+        );
         let writeback = if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
             // Reconstruct the victim's address.
-            let line_no = victim.tag * self.config.sets() + set_idx as u64;
-            Some(line_no * self.config.line_bytes as u64)
+            Some(self.victim_address(victim.tag, set_idx))
         } else {
             None
         };
-        *victim = Line {
-            tag,
-            valid: true,
-            dirty: is_write,
-            lru: tick,
-        };
-        Lookup::Miss { writeback }
+        (false, writeback)
+    }
+
+    /// Accesses the line containing `addr`, allocating on miss.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> Lookup {
+        let (hit, writeback) = self.touch(addr, is_write);
+        if hit {
+            self.stats.hits += 1;
+            Lookup::Hit
+        } else {
+            self.stats.misses += 1;
+            Lookup::Miss { writeback }
+        }
     }
 
     /// Marks the line containing `addr` present without statistics —
     /// used to install writeback data arriving from an upper level.
     pub fn install(&mut self, addr: u64, dirty: bool) -> Option<u64> {
-        self.tick += 1;
-        let tick = self.tick;
-        let (set_idx, tag) = self.set_and_tag(addr);
-        let sets_count = self.config.sets();
-        let line_bytes = self.config.line_bytes as u64;
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.dirty |= dirty;
-            line.lru = tick;
-            return None;
-        }
-        let victim_idx = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.lru)
-                    .map(|(i, _)| i)
-                    .expect("nonzero associativity")
-            });
-        let victim = &mut set[victim_idx];
-        let writeback = if victim.valid && victim.dirty {
-            self.stats.writebacks += 1;
-            let line_no = victim.tag * sets_count + set_idx as u64;
-            Some(line_no * line_bytes)
-        } else {
-            None
-        };
-        *victim = Line {
-            tag,
-            valid: true,
-            dirty,
-            lru: tick,
-        };
+        let (_, writeback) = self.touch(addr, dirty);
         writeback
     }
 }

@@ -58,6 +58,12 @@ pub struct MachineConfig {
     /// counters). Disabled handles cost one branch per event and the
     /// simulated behaviour is identical either way.
     pub telemetry: bool,
+    /// Whether the run loop may fast-forward over cycles in which
+    /// nothing can happen (every in-flight operation is waiting on a
+    /// known future time). The skip replays the per-cycle stall
+    /// bookkeeping exactly, so statistics are bit-identical either way
+    /// — the `event_skip_is_invisible` differential test pins this.
+    pub event_skip: bool,
 }
 
 impl MachineConfig {
@@ -79,6 +85,7 @@ impl MachineConfig {
             migration_rows_per_cycle: 4,
             branch_model: BranchModel::default(),
             telemetry: false,
+            event_skip: true,
         }
     }
 
@@ -197,6 +204,23 @@ struct RobEntry {
     is_store: bool,
 }
 
+/// Which structural hazard ended an issue group that issued nothing.
+/// The event-skip fast-forward replays the per-cycle hazard counter
+/// the blocked cycle would have charged, once per skipped cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallKind {
+    /// Nothing blocked; the group ended because the trace ran dry.
+    None,
+    /// The front end is flushed until `fetch_resume_at`.
+    Fetch,
+    /// The reorder buffer is full.
+    Rob,
+    /// The load or store queue is full.
+    Lsq,
+    /// The memory check queue is full.
+    Mcq,
+}
+
 struct BoundsPort<'a> {
     hierarchy: &'a mut MemoryHierarchy,
 }
@@ -256,10 +280,14 @@ impl Machine {
     /// Builds a fresh machine.
     pub fn new(config: MachineConfig) -> Self {
         let telemetry = aos_util::Telemetry::new(config.telemetry);
+        // The timing loop only consumes exception events, so clean
+        // completions need not be materialized as events.
+        let mut mcu =
+            MemoryCheckUnit::new(config.mcu, config.layout).with_telemetry(telemetry.clone());
+        mcu.set_emit_retired(false);
         Self {
             hierarchy: MemoryHierarchy::table_iv(config.with_l1b),
-            mcu: MemoryCheckUnit::new(config.mcu, config.layout)
-                .with_telemetry(telemetry.clone()),
+            mcu,
             hbt: HashedBoundsTable::new(config.hbt).with_telemetry(telemetry.clone()),
             now: 0,
             rob: VecDeque::with_capacity(config.rob_entries),
@@ -315,13 +343,44 @@ impl Machine {
             if self.hbt.in_migration() {
                 self.hbt.step_migration(self.config.migration_rows_per_cycle);
             }
-            self.retire();
-            let issued = self.issue(&mut pending, &mut trace);
+            let retired = self.retire();
+            let (issued, stall_kind) = self.issue(&mut pending, &mut trace);
             let stalled = issued == 0 && (pending.is_some() || !self.rob.is_empty());
             if stalled && pending.is_some() {
                 self.stall_cycles += 1;
             }
             self.prev_cycle_stalled = stalled;
+            // Event-skip fast-forward: when this cycle did nothing and
+            // every in-flight operation is waiting on a known future
+            // cycle, jump there instead of idling through the gap one
+            // iteration at a time. The machine state is frozen across
+            // the gap (no retire, no issue, no MCU step can fire
+            // before the wake cycle), so only the per-cycle stall
+            // bookkeeping has to be replayed — the same counters the
+            // skipped iterations would have charged.
+            if self.config.event_skip
+                && issued == 0
+                && retired == 0
+                && !self.hbt.in_migration()
+                && !(pending.is_none() && self.rob.is_empty() && self.mcu.is_empty())
+            {
+                let wake = self.wake_cycle();
+                if wake != u64::MAX && wake > self.now + 1 {
+                    let skipped = wake - self.now - 1;
+                    if pending.is_some() {
+                        self.stall_cycles += skipped;
+                    }
+                    match stall_kind {
+                        StallKind::Rob => self.stalls_rob += skipped,
+                        StallKind::Lsq => self.stalls_lsq += skipped,
+                        StallKind::Mcq => self.stalls_mcq += skipped,
+                        StallKind::Fetch | StallKind::None => {}
+                    }
+                    // `prev_cycle_stalled` holds the same value every
+                    // skipped cycle recomputes, so it carries over.
+                    self.now += skipped;
+                }
+            }
             self.now += 1;
             if pending.is_none() && self.rob.is_empty() && self.mcu.is_empty() {
                 // Trace might still hold ops (issue broke on width).
@@ -344,6 +403,9 @@ impl Machine {
             }
             assert!(self.now < 1 << 40, "simulation failed to make progress");
         }
+        // Publish the per-component counters accumulated during the
+        // run before the snapshot below reads them.
+        self.mcu.flush_telemetry();
         RunStats {
             cycles: self.now,
             retired_ops: self.retired_ops,
@@ -365,6 +427,29 @@ impl Machine {
             stalls_mcq: self.stalls_mcq,
             telemetry: self.telemetry.snapshot(),
         }
+    }
+
+    /// The earliest future cycle at which a frozen pipeline can make
+    /// progress, or `u64::MAX` when no in-flight work exists. Only
+    /// meaningful right after a cycle that retired and issued nothing:
+    /// the machine state cannot change until one of the candidates
+    /// fires.
+    fn wake_cycle(&self) -> u64 {
+        let mut wake = u64::MAX;
+        if let Some(head) = self.rob.front() {
+            if head.complete_at > self.now {
+                wake = head.complete_at;
+            }
+            // A head that is complete but still blocked is waiting on
+            // its MCQ entry; the MCU candidate below covers it.
+        }
+        if self.config.aos_enabled && !self.mcu.is_empty() {
+            wake = wake.min(self.mcu.next_wake(self.now));
+        }
+        if self.fetch_resume_at > self.now {
+            wake = wake.min(self.fetch_resume_at);
+        }
+        wake
     }
 
     fn tick_mcu(&mut self) {
@@ -424,7 +509,7 @@ impl Machine {
         }
     }
 
-    fn retire(&mut self) {
+    fn retire(&mut self) -> u32 {
         let mut retired = 0;
         while retired < self.config.issue_width {
             let Some(head) = self.rob.front() else { break };
@@ -432,14 +517,12 @@ impl Machine {
                 break;
             }
             if let Some(id) = head.mcq_id {
-                if !self.mcu.can_retire(id) {
+                // can_retire + mark_committed in one queue lookup.
+                if !self.mcu.commit_if_retirable(id) {
                     break;
                 }
             }
             let head = self.rob.pop_front().expect("peeked above");
-            if let Some(id) = head.mcq_id {
-                self.mcu.mark_committed(id);
-            }
             if head.is_load {
                 self.loads_inflight -= 1;
             }
@@ -449,12 +532,19 @@ impl Machine {
             self.retired_ops += 1;
             retired += 1;
         }
+        retired
     }
 
-    fn issue(&mut self, pending: &mut Option<Op>, trace: &mut impl Iterator<Item = Op>) -> u32 {
+    fn issue(
+        &mut self,
+        pending: &mut Option<Op>,
+        trace: &mut impl Iterator<Item = Op>,
+    ) -> (u32, StallKind) {
         let mut issued = 0;
+        let mut stall = StallKind::None;
         while issued < self.config.issue_width {
             if self.now < self.fetch_resume_at {
+                stall = StallKind::Fetch;
                 break;
             }
             let Some(op) = pending.take().or_else(|| trace.next()) else {
@@ -463,6 +553,7 @@ impl Machine {
             // Structural hazards.
             if self.rob.len() == self.config.rob_entries {
                 self.stalls_rob += 1;
+                stall = StallKind::Rob;
                 *pending = Some(op);
                 break;
             }
@@ -479,6 +570,7 @@ impl Machine {
                     };
                 if full {
                     self.stalls_lsq += 1;
+                    stall = StallKind::Lsq;
                     *pending = Some(op);
                     break;
                 }
@@ -486,6 +578,7 @@ impl Machine {
             let to_mcu = self.config.aos_enabled && op.needs_mcu();
             if to_mcu && !self.mcu.has_capacity() {
                 self.stalls_mcq += 1;
+                stall = StallKind::Mcq;
                 *pending = Some(op);
                 break;
             }
@@ -593,7 +686,23 @@ impl Machine {
                 break;
             }
         }
-        issued
+        (issued, stall)
+    }
+
+    /// [`Machine::run`] fed through a [`Batched`] driver: the source
+    /// refills a reusable struct-of-arrays [`OpBatch`] and the run loop
+    /// pulls decoded ops from it, shrinking per-op iterator dispatch to
+    /// an array read. Statistics are bit-identical to [`Machine::run`]
+    /// over the same op sequence; the machine's telemetry handle counts
+    /// the refills (`batch_ops_refilled` / `batch_fallback_ops`).
+    ///
+    /// [`Batched`]: aos_isa::stream::Batched
+    /// [`OpBatch`]: aos_isa::stream::OpBatch
+    pub fn run_batched<S: aos_isa::stream::BatchSource>(&mut self, source: S) -> RunStats {
+        let driver =
+            aos_isa::stream::Batched::new(source, aos_isa::stream::Batched::<S>::DEFAULT_BATCH_OPS)
+                .with_telemetry(self.telemetry.clone());
+        self.run(driver)
     }
 }
 
@@ -868,6 +977,91 @@ mod tests {
             "L-TAGE learns the bias: {tage_missed} vs {replay_missed}"
         );
         assert!(tage.cycles < replay.cycles);
+    }
+
+    #[test]
+    fn event_skip_is_invisible() {
+        // The fast-forward must replay every per-cycle counter exactly:
+        // cycles, stall breakdowns, mispredict waiving, MCU stats — the
+        // whole RunStats. Exercise the stall sources the skip reasons
+        // about: DRAM-latency chains (ROB head waits), LSQ pressure,
+        // MCQ back-pressure with bounds checks, and mispredict flushes.
+        let layout = PointerLayout::default();
+        let mut trace = Vec::new();
+        for i in 0..64u64 {
+            let signed = layout.compose(0x4000_0000 + i * 0x1000, i % 7, 1);
+            trace.push(Op::BndStr {
+                pointer: signed,
+                size: 4096,
+            });
+            for j in 0..24u64 {
+                trace.push(Op::Load {
+                    pointer: signed + j * 64,
+                    bytes: 8,
+                    chained: j % 3 == 0,
+                });
+            }
+            trace.push(Op::Branch {
+                pc: 0x1000 + (i % 16) * 4,
+                taken: true,
+                mispredicted: i % 9 == 0,
+            });
+            trace.push(Op::PacCrypto);
+            if i % 5 == 0 {
+                trace.push(Op::BndClr { pointer: signed });
+            }
+        }
+        for config in [SafetyConfig::Baseline, SafetyConfig::Aos] {
+            let mut with_skip = MachineConfig::table_iv(config);
+            with_skip.telemetry = true;
+            assert!(with_skip.event_skip, "table_iv enables the skip");
+            let mut without = with_skip.clone();
+            without.event_skip = false;
+            let a = Machine::new(with_skip).run(trace.clone());
+            let b = Machine::new(without).run(trace.clone());
+            assert_eq!(a, b, "event skip changed statistics under {config:?}");
+        }
+    }
+
+    #[test]
+    fn run_batched_matches_run() {
+        let layout = PointerLayout::default();
+        let signed = layout.compose(0x5000_0000, 0x31, 1);
+        let mut trace = vec![Op::BndStr {
+            pointer: signed,
+            size: 4096,
+        }];
+        for i in 0..3000u64 {
+            trace.push(Op::Load {
+                pointer: signed + (i % 512) * 8,
+                bytes: 8,
+                chained: false,
+            });
+            trace.push(Op::IntAlu);
+        }
+        let mut cfg = MachineConfig::table_iv(SafetyConfig::Aos);
+        cfg.telemetry = true;
+        let plain = Machine::new(cfg.clone()).run(trace.clone());
+        let batched = Machine::new(cfg)
+            .run_batched(aos_isa::stream::PerOp(trace.into_iter()));
+        // Batch-plumbing counters describe delivery, not simulation;
+        // everything else must match bit for bit.
+        let zeroed = [
+            aos_util::Counter::BatchOpsRefilled,
+            aos_util::Counter::BatchFallbackOps,
+        ];
+        assert_eq!(
+            plain.telemetry.with_counters_zeroed(&zeroed),
+            batched.telemetry.with_counters_zeroed(&zeroed)
+        );
+        assert_eq!(plain.without_telemetry(), batched.without_telemetry());
+        assert!(
+            batched
+                .telemetry
+                .counter(aos_util::Counter::BatchOpsRefilled)
+                > 0,
+            "the batched path must prove it ran"
+        );
     }
 
     #[test]

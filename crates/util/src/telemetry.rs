@@ -110,11 +110,16 @@ pub enum Counter {
     LintOpsScanned,
     /// Diagnostics the linter emitted (all rules, all severities).
     LintDiagnostics,
+    /// Ops delivered through batch refills of the streaming pipeline.
+    BatchOpsRefilled,
+    /// Refilled ops that degraded to the per-op fallback pull (≈ 0
+    /// when every stage of the pipeline is batch-native).
+    BatchFallbackOps,
 }
 
 impl Counter {
     /// Number of counters in the taxonomy.
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 29;
 
     /// Every counter, in cell (and wire) order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -145,6 +150,8 @@ impl Counter {
         Counter::HeapFrees,
         Counter::LintOpsScanned,
         Counter::LintDiagnostics,
+        Counter::BatchOpsRefilled,
+        Counter::BatchFallbackOps,
     ];
 
     /// Stable wire names, in the same order as [`Counter::ALL`].
@@ -176,6 +183,8 @@ impl Counter {
         "heap_frees",
         "lint_ops_scanned",
         "lint_diagnostics",
+        "batch_ops_refilled",
+        "batch_fallback_ops",
     ];
 
     /// The counter's stable wire name.
@@ -324,10 +333,19 @@ impl Telemetry {
     }
 
     /// Adds `n` to a counter.
+    ///
+    /// Recording uses plain load+store on the cells rather than atomic
+    /// read-modify-write: a registry has a single writer (the machine
+    /// that owns the handle and the components it hands clones to, all
+    /// on one thread), and dropping the `lock` prefix keeps the
+    /// hot-path cost at a couple of cycles. Concurrent *snapshots*
+    /// from other threads are safe; concurrent writers are not
+    /// supported and would lose increments.
     #[inline]
     pub fn add(&self, counter: Counter, n: u64) {
         if let Some(r) = &self.registry {
-            r.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+            let cell = &r.counters[counter as usize];
+            cell.store(cell.load(Ordering::Relaxed) + n, Ordering::Relaxed);
         }
     }
 
@@ -336,7 +354,10 @@ impl Telemetry {
     #[inline]
     pub fn gauge_max(&self, gauge: Gauge, value: u64) {
         if let Some(r) = &self.registry {
-            r.gauges[gauge as usize].fetch_max(value, Ordering::Relaxed);
+            let cell = &r.gauges[gauge as usize];
+            if value > cell.load(Ordering::Relaxed) {
+                cell.store(value, Ordering::Relaxed);
+            }
         }
     }
 
@@ -353,7 +374,8 @@ impl Telemetry {
     #[inline]
     pub fn observe(&self, hist: Hist, value: u64) {
         if let Some(r) = &self.registry {
-            r.hists[hist as usize][hist_bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            let cell = &r.hists[hist as usize][hist_bucket_index(value)];
+            cell.store(cell.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
         }
     }
 
@@ -431,6 +453,19 @@ impl TelemetrySnapshot {
         } else {
             hits as f64 / total as f64
         }
+    }
+
+    /// A copy with the given counters zeroed. The batch-plumbing
+    /// counters (`batch_ops_refilled` / `batch_fallback_ops`) describe
+    /// how ops were *delivered*, not what was simulated, so the
+    /// batched-vs-per-op equivalence tests zero them before comparing
+    /// snapshots bit for bit.
+    pub fn with_counters_zeroed(&self, zeroed: &[Counter]) -> TelemetrySnapshot {
+        let mut out = self.clone();
+        for &c in zeroed {
+            out.counters[c as usize] = 0;
+        }
+        out
     }
 
     /// Folds another snapshot in: counters and histogram buckets sum,

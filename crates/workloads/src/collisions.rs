@@ -56,14 +56,26 @@ pub fn study(live_chunks: u64, pac_bits: u32) -> CollisionStudy {
     let mut rng = Xoshiro256StarStar::seed_from_u64(0xC0_111D);
     let sizes = DiscreteTable::new(vec![(24u64, 3.0), (48, 2.0), (128, 1.0), (1024, 0.3)]);
     let mut rows = Histogram::new(1usize << pac_bits);
-    for _ in 0..live_chunks {
-        let size = *sizes.sample(&mut rng);
-        let a = heap.malloc(size).expect("study fits in the heap");
-        let pac = truncate_pac(
-            qarma.compute(layout.address(a.base), SIGNING_CONTEXT),
-            pac_bits,
-        );
-        rows.record(pac);
+    // Same batching as the Fig. 11 microbenchmark: the whole live set
+    // signs under one context, so runs of allocator addresses go
+    // through the uniform-modifier QARMA lanes.
+    const RUN: usize = 1024;
+    let mut addrs = Vec::with_capacity(RUN);
+    let mut pacs = [0u64; RUN];
+    let mut remaining = live_chunks;
+    while remaining > 0 {
+        let n = remaining.min(RUN as u64) as usize;
+        addrs.clear();
+        for _ in 0..n {
+            let size = *sizes.sample(&mut rng);
+            let a = heap.malloc(size).expect("study fits in the heap");
+            addrs.push(layout.address(a.base));
+        }
+        qarma.compute_batch_uniform(&addrs, SIGNING_CONTEXT, &mut pacs[..n]);
+        for &pac in &pacs[..n] {
+            rows.record(truncate_pac(pac, pac_bits));
+        }
+        remaining -= n as u64;
     }
     let summary = rows.occupancy_summary();
     let rows_over = rows.iter().filter(|&c| c > 8).count() as u64;

@@ -36,14 +36,26 @@ pub fn pac_distribution(allocations: u64, pac_bits: u32) -> Histogram {
     // Small-object mix, as a malloc-heavy program would produce.
     let sizes = DiscreteTable::new(vec![(16u64, 2.0), (32, 3.0), (64, 2.0), (128, 1.0), (512, 0.5)]);
     let mut histogram = Histogram::new(1usize << pac_bits);
-    for _ in 0..allocations {
-        let size = *sizes.sample(&mut rng);
-        let a = heap.malloc(size).expect("microbench fits in the heap");
-        let pac = truncate_pac(
-            qarma.compute(layout.address(a.base), SIGNING_CONTEXT),
-            pac_bits,
-        );
-        histogram.record(pac);
+    // Allocate in runs, then cipher each run through the multi-lane
+    // batch path — every address shares SIGNING_CONTEXT, so the tweak
+    // schedule is derived once per run instead of once per malloc.
+    const RUN: usize = 1024;
+    let mut addrs = Vec::with_capacity(RUN);
+    let mut pacs = [0u64; RUN];
+    let mut remaining = allocations;
+    while remaining > 0 {
+        let n = remaining.min(RUN as u64) as usize;
+        addrs.clear();
+        for _ in 0..n {
+            let size = *sizes.sample(&mut rng);
+            let a = heap.malloc(size).expect("microbench fits in the heap");
+            addrs.push(layout.address(a.base));
+        }
+        qarma.compute_batch_uniform(&addrs, SIGNING_CONTEXT, &mut pacs[..n]);
+        for &pac in &pacs[..n] {
+            histogram.record(truncate_pac(pac, pac_bits));
+        }
+        remaining -= n as u64;
     }
     histogram
 }

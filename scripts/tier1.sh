@@ -27,6 +27,14 @@ echo "== tier-1: static protocol lint smoke (strict) =="
 # A clean generated trace must carry zero protocol findings.
 cargo run -q --release -p aos-cli -- lint >/dev/null
 
+echo "== tier-1: batched pipeline smoke =="
+# The streaming bench asserts bit-identical RunStats and telemetry
+# across the materialized, per-op and batched pipeline shapes on every
+# run — a tiny single-rep pass makes those equivalence asserts part of
+# the gate without the cost of the full artifact run.
+cargo run -q --release -p aos-bench --bin streaming_bench -- \
+    --scale 0.004 --reps 1 --out "${TMPDIR:-/tmp}/aos_batch_smoke.json" >/dev/null
+
 # Hardened crates must not grow new unwrap() on input-reachable paths,
 # the streaming pipeline must not regress into collect-then-iterate
 # (needless_collect re-materializes traces the refactor made lazy),
@@ -68,9 +76,19 @@ if [[ "${1:-}" == "--with-smoke" ]]; then
     echo "== streaming smoke: campaign at 10x window scale =="
     cargo run -q --release -p aos-bench --bin campaign_smoke -- \
         --scale 0.1 --out BENCH_campaign_long.json
-    echo "== streaming bench: materialized-vs-streaming pipeline =="
+    echo "== streaming bench: materialized / streaming / batched pipeline =="
+    # Snapshot the committed artifact first so the regression note
+    # below can compare against it after the file is overwritten.
+    prev_bench="${TMPDIR:-/tmp}/aos_bench_prev.json"
+    git show HEAD:BENCH_streaming.json >"$prev_bench" 2>/dev/null || prev_bench=""
     cargo run -q --release -p aos-bench --bin streaming_bench -- \
         --scale 0.02 --out BENCH_streaming.json
+    echo "== bench regression note: sim-cycles/sec vs committed baseline (report-only) =="
+    if [[ -n "$prev_bench" ]] && command -v python3 >/dev/null 2>&1; then
+        python3 scripts/bench_note.py "$prev_bench" BENCH_streaming.json || true
+    else
+        echo "no committed BENCH_streaming.json (or no python3) to compare against"
+    fi
 fi
 
 echo "tier-1 OK"
