@@ -16,6 +16,8 @@ use aos_ptrauth::PointerLayout;
 use aos_util::{Counter, Gauge, Telemetry};
 use aos_workloads::TraceGenerator;
 
+use std::time::Duration;
+
 use crate::args::{scale_or, Parsed};
 
 /// Failure classes, mapped to process exit codes by `main` (the
@@ -103,6 +105,29 @@ USAGE:
   aos trace <workload> --out <path> [--system <s>] [--scale <f>]
                                             capture a trace to a file
   aos replay <path> [--system <s>]          replay a captured trace
+  aos serve [--socket <path>] [--queue <n>] [--workers <n>]
+            [--timeout-ms <n>] [--retries <n>] [--backoff-ms <n>]
+            [--retry-after-ms <n>] [--test-jobs true] [--telemetry true]
+                                            long-running job service:
+                                            newline-delimited JSON
+                                            (aos-serve/v1) on stdin/stdout,
+                                            or a Unix socket with --socket;
+                                            bounded queue (rejects answer
+                                            retry_after_ms), per-job
+                                            timeout + retries with
+                                            exponential backoff, panics
+                                            isolated per job, drains on
+                                            shutdown/EOF
+  aos corpus record --out <path> --workloads <w1,w2,..>
+                    [--systems <s1,s2,..>] [--scale <f>]
+                                            record a workload x system grid
+                                            into a CRC-checked trace corpus
+  aos corpus replay <path> --entry <name> [--mode sim|lint]
+                                            replay one recorded entry
+                                            bit-identically (CRC-failing
+                                            blocks quarantine, exit 1)
+  aos corpus verify <path>                  CRC-verify every entry; any
+                                            quarantined entry exits 1
   aos params                                the Table IV machine parameters
   aos workloads                             list the calibrated workloads
 
@@ -740,6 +765,193 @@ pub fn workloads() -> Result<(), String> {
     Ok(())
 }
 
+/// `aos serve [--socket <path>] [--queue <n>] [--workers <n>]
+/// [--timeout-ms <n>] [--retries <n>] [--backoff-ms <n>]
+/// [--retry-after-ms <n>] [--test-jobs true] [--telemetry true]`.
+pub fn serve(args: &[String]) -> Result<(), CliError> {
+    let parsed = Parsed::parse(args).map_err(CliError::Usage)?;
+    let telemetry_on = bool_flag(&parsed, "telemetry");
+    let telemetry = if telemetry_on {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let options = aos_serve::ServeOptions {
+        queue_capacity: match parsed.flag_or("queue", 16usize)? {
+            0 => return Err(CliError::Usage("--queue must be at least 1".into())),
+            n => n,
+        },
+        workers: match parsed.flag_or("workers", 2usize)? {
+            0 => return Err(CliError::Usage("--workers must be at least 1".into())),
+            n => n,
+        },
+        job_timeout: match parsed.flag_or("timeout-ms", 30_000u64)? {
+            0 => None, // 0 disables the per-job deadline
+            ms => Some(Duration::from_millis(ms)),
+        },
+        retries: parsed.flag_or("retries", 1u32)?,
+        backoff_base: Duration::from_millis(parsed.flag_or("backoff-ms", 50u64)?),
+        retry_after_ms: parsed.flag_or("retry-after-ms", 25u64)?,
+        test_jobs: bool_flag(&parsed, "test-jobs"),
+        telemetry: telemetry.clone(),
+    };
+    let summary = match parsed.flag("socket") {
+        #[cfg(unix)]
+        Some(path) => aos_serve::serve_unix(std::path::Path::new(path), &options),
+        #[cfg(not(unix))]
+        Some(_) => {
+            return Err(CliError::Usage(
+                "--socket requires a Unix platform; use stdio mode".into(),
+            ))
+        }
+        None => aos_serve::serve(std::io::stdin().lock(), std::io::stdout(), &options),
+    }
+    .map_err(|e| CliError::Usage(e.to_string()))?;
+    // The session report goes to stderr: stdout is the protocol
+    // stream.
+    eprintln!(
+        "aos-serve session: {} accepted, {} ok, {} failed ({} timed out, {} panicked), {} rejected, {} retries",
+        summary.accepted,
+        summary.succeeded,
+        summary.failed,
+        summary.timed_out,
+        summary.panicked,
+        summary.rejected,
+        summary.retried,
+    );
+    if telemetry_on {
+        let snap = telemetry.snapshot();
+        for counter in Counter::ALL {
+            let value = snap.counter(counter);
+            if value > 0 {
+                eprintln!("  {:<24} {value}", counter.name());
+            }
+        }
+        eprintln!("  {:<24} {}", Gauge::ServeQueueDepth.name(), snap.gauge(Gauge::ServeQueueDepth));
+    }
+    Ok(())
+}
+
+fn corpus_out_flag<'a>(parsed: &'a Parsed, name: &str) -> Result<&'a str, CliError> {
+    parsed
+        .flag(name)
+        .ok_or_else(|| CliError::Usage(format!("corpus requires --{name} <value>")))
+}
+
+/// `aos corpus record|replay|verify …` — manage persistent
+/// CRC-checked trace corpora. Subcommand shapes:
+///
+/// ```text
+/// aos corpus record --out <path> --workloads <w1,w2,..>
+///        [--systems <s1,s2,..>] [--scale <f>]
+/// aos corpus replay <path> --entry <name> [--mode sim|lint]
+/// aos corpus verify <path>
+/// ```
+pub fn corpus(args: &[String]) -> Result<(), CliError> {
+    let parsed = Parsed::parse(args).map_err(CliError::Usage)?;
+    let action = parsed
+        .positional(0)
+        .ok_or_else(|| CliError::Usage("corpus requires record, replay or verify".into()))?;
+    // The CLI is single-threaded, so the corpus layer can record
+    // telemetry live (unlike the service's concurrent workers).
+    let telemetry = if bool_flag(&parsed, "telemetry") {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    match action {
+        "record" => {
+            let out = corpus_out_flag(&parsed, "out")?;
+            let workloads: Vec<String> = corpus_out_flag(&parsed, "workloads")?
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            for name in &workloads {
+                find_workload(name).map_err(CliError::Usage)?;
+            }
+            let systems = aos_serve::parse_systems(parsed.flag("systems").unwrap_or("aos"))
+                .map_err(|e| CliError::Usage(e.to_string()))?;
+            let spec = aos_serve::JobSpec::CorpusRecord {
+                path: out.to_string(),
+                workloads,
+                systems,
+                scale: scale(&parsed).map_err(CliError::Usage)?,
+            };
+            let result =
+                aos_serve::execute(&spec, &telemetry).map_err(|e| CliError::Usage(e.to_string()))?;
+            println!("{result}");
+            Ok(())
+        }
+        "replay" => {
+            let path = parsed
+                .positional(1)
+                .ok_or_else(|| CliError::Usage("replay requires a corpus path".into()))?;
+            let entry = corpus_out_flag(&parsed, "entry")?;
+            let mode = match parsed.flag("mode").unwrap_or("sim") {
+                "sim" => aos_serve::ReplayMode::Sim,
+                "lint" => aos_serve::ReplayMode::Lint,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown mode '{other}' (sim, lint)"
+                    )))
+                }
+            };
+            let spec = aos_serve::JobSpec::CorpusReplay {
+                path: path.to_string(),
+                entry: entry.to_string(),
+                mode,
+            };
+            match aos_serve::execute(&spec, &telemetry) {
+                Ok(result) => {
+                    println!("{result}");
+                    Ok(())
+                }
+                // A CRC quarantine is a finding: the gate ran and the
+                // stored corpus failed it.
+                Err(e @ aos_util::AosError::Corruption { .. }) => {
+                    Err(CliError::Findings(e.to_string()))
+                }
+                Err(e) => Err(CliError::Usage(e.to_string())),
+            }
+        }
+        "verify" => {
+            let path = parsed
+                .positional(1)
+                .ok_or_else(|| CliError::Usage("verify requires a corpus path".into()))?;
+            let reader = aos_core::isa::corpus::CorpusReader::open(path, telemetry)
+                .map_err(|e| CliError::Usage(e.to_string()))?;
+            let checks = reader.verify();
+            let mut quarantined = 0usize;
+            for check in &checks {
+                match &check.status {
+                    Ok(()) => println!(
+                        "  ok          {:<24} {:>9} ops, {} blocks",
+                        check.entry.name, check.entry.op_count, check.entry.block_count
+                    ),
+                    Err(e) => {
+                        quarantined += 1;
+                        println!("  QUARANTINED {:<24} {e}", check.entry.name);
+                    }
+                }
+            }
+            if quarantined > 0 {
+                Err(CliError::Findings(format!(
+                    "{quarantined} of {} corpus entries quarantined",
+                    checks.len()
+                )))
+            } else {
+                println!("{} entries verified clean", checks.len());
+                Ok(())
+            }
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown corpus action '{other}' (record, replay, verify)"
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -831,6 +1043,99 @@ mod tests {
         let text = usage();
         assert!(text.contains("EXIT CODES"));
         assert!(text.contains("aos lint"));
+        // The service and corpus surfaces are documented, flags and all.
+        assert!(text.contains("aos serve"));
+        assert!(text.contains("--retry-after-ms"));
+        assert!(text.contains("--test-jobs"));
+        assert!(text.contains("aos corpus record"));
+        assert!(text.contains("aos corpus replay"));
+        assert!(text.contains("aos corpus verify"));
+        assert!(text.contains("--entry"));
+        assert!(text.contains("--mode sim|lint"));
+    }
+
+    #[test]
+    fn serve_flags_honor_the_usage_contract() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        for bad in [
+            &["--queue", "0"][..],
+            &["--workers", "0"],
+            &["--queue", "lots"],
+            &["--timeout-ms", "soon"],
+        ] {
+            assert!(
+                matches!(serve(&args(bad)), Err(CliError::Usage(_))),
+                "aos serve {bad:?} must be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_exit_code_contract() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let dir = std::env::temp_dir().join("aos-cli-corpus-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("contract.aosc");
+        let path_str = path.display().to_string();
+        std::fs::remove_file(&path).ok();
+
+        // Usage errors: missing required flags / unknown values.
+        assert!(matches!(corpus(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            corpus(&args(&["destroy"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            corpus(&args(&["record", "--out", &path_str])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            corpus(&args(&[
+                "record",
+                "--out",
+                &path_str,
+                "--workloads",
+                "doom"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+
+        // A clean record → replay → verify chain exits 0 throughout.
+        corpus(&args(&[
+            "record",
+            "--out",
+            &path_str,
+            "--workloads",
+            "mcf",
+            "--systems",
+            "baseline",
+            "--scale",
+            "0.004",
+        ]))
+        .expect("record");
+        corpus(&args(&["replay", &path_str, "--entry", "mcf-baseline"])).expect("replay");
+        corpus(&args(&["verify", &path_str])).expect("verify");
+        assert!(matches!(
+            corpus(&args(&["replay", &path_str, "--entry", "nonesuch"])),
+            Err(CliError::Usage(_))
+        ));
+
+        // Corrupt the stored block: replay and verify become findings
+        // (exit 1), not usage errors and not crashes.
+        let offset = aos_core::isa::corpus::CorpusReader::open(&path, Telemetry::disabled())
+            .expect("open")
+            .entries()[0]
+            .offset;
+        aos_fault::corpus::flip_block_bit(&path, offset, 0, 99).expect("inject");
+        assert!(matches!(
+            corpus(&args(&["replay", &path_str, "--entry", "mcf-baseline"])),
+            Err(CliError::Findings(_))
+        ));
+        assert!(matches!(
+            corpus(&args(&["verify", &path_str])),
+            Err(CliError::Findings(_))
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

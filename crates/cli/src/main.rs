@@ -12,6 +12,8 @@
 //! aos fig <11|14|15|16|17|18> [--scale f]   reproduce a paper figure
 //! aos pac [--allocations n] [--bits b] the Fig. 11 microbenchmark
 //! aos trace / aos replay               capture & replay µop traces
+//! aos serve [options]                  long-running NDJSON job service
+//! aos corpus record|replay|verify      persistent CRC-checked corpora
 //! aos params                           the Table IV machine
 //! aos workloads                        list the calibrated workloads
 //! ```
@@ -46,6 +48,8 @@ fn main() -> ExitCode {
         "pac" => commands::pac(rest).map_err(CliError::from),
         "trace" => commands::trace(rest).map_err(CliError::from),
         "replay" => commands::replay(rest).map_err(CliError::from),
+        "serve" => commands::serve(rest),
+        "corpus" => commands::corpus(rest),
         "params" => commands::params().map_err(CliError::from),
         "workloads" => commands::workloads().map_err(CliError::from),
         "help" | "--help" | "-h" => {

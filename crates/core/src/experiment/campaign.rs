@@ -38,13 +38,11 @@
 //! assert!(report.results[0].stats().unwrap().cycles > 0);
 //! ```
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aos_sim::RunStats;
-use aos_util::error::panic_message;
+use aos_util::guard::{run_guarded, Backoff, GuardOptions};
 use aos_util::par::{effective_threads, ordered_parallel_map};
 use aos_workloads::WorkloadProfile;
 
@@ -504,8 +502,12 @@ pub fn run_campaign_custom(
     }
 }
 
-/// One cell under the full protection stack: `catch_unwind` per
-/// attempt, optional wall-clock timeout, bounded retry with linear
+/// One cell under the full protection stack
+/// ([`aos_util::guard::run_guarded`]): `catch_unwind` per attempt,
+/// optional wall-clock timeout on a watchdog thread (a timed-out
+/// attempt is abandoned — it keeps simulating in the background and
+/// its eventual result is dropped; acceptable for a campaign, whose
+/// process exits when the campaign does), bounded retry with linear
 /// backoff. Returns the final outcome and attempts consumed.
 fn run_cell_guarded(
     runner: &CellRunner,
@@ -513,57 +515,24 @@ fn run_cell_guarded(
     cell: &CampaignCell,
     options: &CampaignOptions,
 ) -> (CellOutcome, u32) {
-    let max_attempts = options.retries.saturating_add(1);
-    let mut last_error = String::new();
-    for attempt in 1..=max_attempts {
-        let result = match options.cell_timeout {
-            None => catch_unwind(AssertUnwindSafe(|| runner(index, cell)))
-                .map_err(|payload| panic_message(payload.as_ref())),
-            Some(limit) => run_attempt_with_timeout(runner, index, cell, limit),
-        };
-        match result {
-            Ok(output) => return (CellOutcome::Completed(output), attempt),
-            Err(error) => {
-                last_error = error;
-                if attempt < max_attempts && !options.retry_backoff.is_zero() {
-                    std::thread::sleep(options.retry_backoff * attempt);
-                }
-            }
-        }
-    }
-    (CellOutcome::Failed { error: last_error }, max_attempts)
-}
-
-/// One attempt on a watchdog thread. Rust threads cannot be cancelled,
-/// so on timeout the attempt thread is abandoned: it keeps simulating
-/// in the background and its eventual result is dropped with the
-/// disconnected channel. Acceptable for a campaign (the process exits
-/// when the campaign does); documented in DESIGN.md.
-fn run_attempt_with_timeout(
-    runner: &CellRunner,
-    index: usize,
-    cell: &CampaignCell,
-    limit: Duration,
-) -> Result<CellOutput, String> {
-    let (tx, rx) = mpsc::channel();
-    let runner = Arc::clone(runner);
-    let cell = *cell;
-    std::thread::spawn(move || {
-        let result = catch_unwind(AssertUnwindSafe(|| runner(index, &cell)))
-            .map_err(|payload| panic_message(payload.as_ref()));
-        // The receiver may have timed out and gone away; ignore.
-        let _ = tx.send(result);
-    });
-    match rx.recv_timeout(limit) {
-        Ok(result) => result,
-        Err(mpsc::RecvTimeoutError::Timeout) => Err(format!(
-            "cell {} timed out after {:.3}s",
-            cell.label(),
-            limit.as_secs_f64()
-        )),
-        Err(mpsc::RecvTimeoutError::Disconnected) => {
-            Err(format!("cell {} worker vanished", cell.label()))
-        }
+    let work = {
+        let runner = Arc::clone(runner);
+        let cell = *cell;
+        Arc::new(move || runner(index, &cell))
+    };
+    let guard = GuardOptions {
+        timeout: options.cell_timeout,
+        retries: options.retries,
+        backoff: Backoff::Linear(options.retry_backoff),
+    };
+    match run_guarded(work, &guard) {
+        (Ok(output), attempts) => (CellOutcome::Completed(output), attempts),
+        (Err(error), attempts) => (
+            CellOutcome::Failed {
+                error: format!("cell {} {error}", cell.label()),
+            },
+            attempts,
+        ),
     }
 }
 

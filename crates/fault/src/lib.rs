@@ -17,6 +17,10 @@
 //!   trial as detected / missed / false positive;
 //! - [`corrupt`] models physical bounds-record corruption (bit flips,
 //!   lost ways) against the HBT's CRC-3 fail-closed design;
+//! - [`corpus`] injects storage faults into persistent trace corpora
+//!   (bit rot inside a stored op block, power-loss truncation
+//!   mid-frame) and pins the quarantine-not-crash contract of
+//!   [`aos_isa::corpus`];
 //! - [`campaign`] fans a `kind × seed × system` grid through the
 //!   hardened campaign runner and annotates the
 //!   `aos-campaign-report/v4` document with detection rates.
@@ -26,6 +30,7 @@
 //! trace position, so detection verdicts can be pinned in tests.
 
 pub mod campaign;
+pub mod corpus;
 pub mod corrupt;
 pub mod inject;
 pub mod oracle;

@@ -74,7 +74,10 @@ fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn write_op<W: Write>(w: &mut W, op: &Op) -> io::Result<()> {
+/// Writes one op record (tag byte + little-endian operands) — the
+/// unit encoding shared by whole-trace files and the corpus store's
+/// CRC-framed blocks.
+pub(crate) fn write_op<W: Write>(w: &mut W, op: &Op) -> io::Result<()> {
     match *op {
         Op::IntAlu => w.write_all(&[TAG_INT_ALU]),
         Op::IntMul => w.write_all(&[TAG_INT_MUL]),
@@ -189,68 +192,73 @@ pub fn read_trace<R: Read>(mut reader: R) -> io::Result<(String, Vec<Op>)> {
     let mut ops = Vec::new();
     let mut tag = [0u8; 1];
     while read_exact_or_eof(&mut reader, &mut tag)? {
-        let op = match tag[0] {
-            TAG_INT_ALU => Op::IntAlu,
-            TAG_INT_MUL => Op::IntMul,
-            TAG_FP_ALU => Op::FpAlu,
-            TAG_BRANCH => {
-                let mut flags = [0u8; 2];
-                reader.read_exact(&mut flags)?;
-                Op::Branch {
-                    taken: flags[0] != 0,
-                    mispredicted: flags[1] != 0,
-                    pc: read_u64(&mut reader)?,
-                }
-            }
-            TAG_LOAD => {
-                let mut chained = [0u8; 1];
-                reader.read_exact(&mut chained)?;
-                let bytes = read_u32(&mut reader)?;
-                Op::Load {
-                    chained: chained[0] != 0,
-                    bytes,
-                    pointer: read_u64(&mut reader)?,
-                }
-            }
-            TAG_STORE => {
-                let bytes = read_u32(&mut reader)?;
-                Op::Store {
-                    bytes,
-                    pointer: read_u64(&mut reader)?,
-                }
-            }
-            TAG_PACMA => Op::Pacma {
-                pointer: read_u64(&mut reader)?,
-                size: read_u64(&mut reader)?,
-            },
-            TAG_XPACM => Op::Xpacm,
-            TAG_AUTM => Op::Autm {
-                pointer: read_u64(&mut reader)?,
-            },
-            TAG_PAC_CRYPTO => Op::PacCrypto,
-            TAG_BNDSTR => Op::BndStr {
-                pointer: read_u64(&mut reader)?,
-                size: read_u64(&mut reader)?,
-            },
-            TAG_BNDCLR => Op::BndClr {
-                pointer: read_u64(&mut reader)?,
-            },
-            TAG_WDCHECK => Op::WdCheck {
-                pointer: read_u64(&mut reader)?,
-            },
-            TAG_WDMETA => {
-                let mut is_store = [0u8; 1];
-                reader.read_exact(&mut is_store)?;
-                Op::WdMeta {
-                    is_store: is_store[0] != 0,
-                    pointer: read_u64(&mut reader)?,
-                }
-            }
-            other => return Err(bad(&format!("unknown op tag {other}"))),
-        };
-        ops.push(op);
+        ops.push(read_op(tag[0], &mut reader)?);
     }
     Ok((metadata, ops))
+}
+
+/// Decodes one op record whose tag byte has already been consumed —
+/// the counterpart of [`write_op`], shared with the corpus store.
+pub(crate) fn read_op<R: Read>(tag: u8, reader: &mut R) -> io::Result<Op> {
+    Ok(match tag {
+        TAG_INT_ALU => Op::IntAlu,
+        TAG_INT_MUL => Op::IntMul,
+        TAG_FP_ALU => Op::FpAlu,
+        TAG_BRANCH => {
+            let mut flags = [0u8; 2];
+            reader.read_exact(&mut flags)?;
+            Op::Branch {
+                taken: flags[0] != 0,
+                mispredicted: flags[1] != 0,
+                pc: read_u64(reader)?,
+            }
+        }
+        TAG_LOAD => {
+            let mut chained = [0u8; 1];
+            reader.read_exact(&mut chained)?;
+            let bytes = read_u32(reader)?;
+            Op::Load {
+                chained: chained[0] != 0,
+                bytes,
+                pointer: read_u64(reader)?,
+            }
+        }
+        TAG_STORE => {
+            let bytes = read_u32(reader)?;
+            Op::Store {
+                bytes,
+                pointer: read_u64(reader)?,
+            }
+        }
+        TAG_PACMA => Op::Pacma {
+            pointer: read_u64(reader)?,
+            size: read_u64(reader)?,
+        },
+        TAG_XPACM => Op::Xpacm,
+        TAG_AUTM => Op::Autm {
+            pointer: read_u64(reader)?,
+        },
+        TAG_PAC_CRYPTO => Op::PacCrypto,
+        TAG_BNDSTR => Op::BndStr {
+            pointer: read_u64(reader)?,
+            size: read_u64(reader)?,
+        },
+        TAG_BNDCLR => Op::BndClr {
+            pointer: read_u64(reader)?,
+        },
+        TAG_WDCHECK => Op::WdCheck {
+            pointer: read_u64(reader)?,
+        },
+        TAG_WDMETA => {
+            let mut is_store = [0u8; 1];
+            reader.read_exact(&mut is_store)?;
+            Op::WdMeta {
+                is_store: is_store[0] != 0,
+                pointer: read_u64(reader)?,
+            }
+        }
+        other => return Err(bad(&format!("unknown op tag {other}"))),
+    })
 }
 
 /// Reads a trace from a file, lifting failures into the shared

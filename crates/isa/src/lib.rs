@@ -24,6 +24,7 @@
 //! ```
 
 pub mod codec;
+pub mod corpus;
 pub mod expand;
 mod mix;
 mod op;

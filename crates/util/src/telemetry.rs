@@ -115,11 +115,31 @@ pub enum Counter {
     /// Refilled ops that degraded to the per-op fallback pull (≈ 0
     /// when every stage of the pipeline is batch-native).
     BatchFallbackOps,
+    /// Jobs the service accepted into its bounded queue.
+    ServeJobsAccepted,
+    /// Jobs the service rejected with a retry-after backpressure
+    /// reply because the queue was full.
+    ServeJobsRejected,
+    /// Jobs that needed at least one retry before completing or
+    /// finally failing.
+    ServeJobsRetried,
+    /// Jobs whose every attempt exceeded the per-job deadline.
+    ServeJobsTimedOut,
+    /// Jobs whose every attempt panicked (isolated by the guard; the
+    /// service kept serving).
+    ServeJobsPanicked,
+    /// Corpus frames written (entry headers, op blocks, trailers).
+    CorpusBlocksWritten,
+    /// Corpus frames read and CRC-validated.
+    CorpusBlocksRead,
+    /// Corpus frames that failed their CRC / framing check and were
+    /// quarantined with a typed error instead of replayed.
+    CorpusCrcFailures,
 }
 
 impl Counter {
     /// Number of counters in the taxonomy.
-    pub const COUNT: usize = 29;
+    pub const COUNT: usize = 37;
 
     /// Every counter, in cell (and wire) order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -152,6 +172,14 @@ impl Counter {
         Counter::LintDiagnostics,
         Counter::BatchOpsRefilled,
         Counter::BatchFallbackOps,
+        Counter::ServeJobsAccepted,
+        Counter::ServeJobsRejected,
+        Counter::ServeJobsRetried,
+        Counter::ServeJobsTimedOut,
+        Counter::ServeJobsPanicked,
+        Counter::CorpusBlocksWritten,
+        Counter::CorpusBlocksRead,
+        Counter::CorpusCrcFailures,
     ];
 
     /// Stable wire names, in the same order as [`Counter::ALL`].
@@ -185,6 +213,14 @@ impl Counter {
         "lint_diagnostics",
         "batch_ops_refilled",
         "batch_fallback_ops",
+        "serve_jobs_accepted",
+        "serve_jobs_rejected",
+        "serve_jobs_retried",
+        "serve_jobs_timed_out",
+        "serve_jobs_panicked",
+        "corpus_blocks_written",
+        "corpus_blocks_read",
+        "corpus_crc_failures",
     ];
 
     /// The counter's stable wire name.
@@ -201,17 +237,22 @@ pub enum Gauge {
     McqPeakOccupancy,
     /// Final HBT associativity (ways).
     HbtWays,
+    /// Peak depth of the service's bounded job queue — the MCQ
+    /// occupancy signal applied to the repo's own deployment shape.
+    ServeQueueDepth,
 }
 
 impl Gauge {
     /// Number of gauges in the taxonomy.
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 3;
 
     /// Every gauge, in cell (and wire) order.
-    pub const ALL: [Gauge; Self::COUNT] = [Gauge::McqPeakOccupancy, Gauge::HbtWays];
+    pub const ALL: [Gauge; Self::COUNT] =
+        [Gauge::McqPeakOccupancy, Gauge::HbtWays, Gauge::ServeQueueDepth];
 
     /// Stable wire names, in the same order as [`Gauge::ALL`].
-    pub const NAMES: [&'static str; Self::COUNT] = ["mcq_peak_occupancy", "hbt_ways"];
+    pub const NAMES: [&'static str; Self::COUNT] =
+        ["mcq_peak_occupancy", "hbt_ways", "serve_queue_depth"];
 
     /// The gauge's stable wire name.
     pub fn name(self) -> &'static str {

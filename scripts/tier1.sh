@@ -27,6 +27,32 @@ echo "== tier-1: static protocol lint smoke (strict) =="
 # A clean generated trace must carry zero protocol findings.
 cargo run -q --release -p aos-cli -- lint >/dev/null
 
+echo "== tier-1: serve smoke (graceful rejection + clean shutdown) =="
+# A short stdio service session: one well-formed lint job, one
+# malformed line. The malformed line must answer "rejected" (not tear
+# the session down), the job must answer "ok", and EOF must drain to
+# a final "shutdown" line with exit 0.
+serve_out="${TMPDIR:-/tmp}/aos_serve_smoke.ndjson"
+printf '%s\n%s\n' \
+    '{"proto":"aos-serve/v1","id":"smoke","kind":"lint","workload":"mcf","system":"aos","scale":0.004}' \
+    'this is not a protocol line' \
+  | cargo run -q --release -p aos-cli -- serve --workers 1 2>/dev/null >"$serve_out"
+grep -q '"id":"smoke","status":"ok"' "$serve_out"
+grep -q '"status":"rejected"' "$serve_out"
+tail -n 1 "$serve_out" | grep -q '"status":"shutdown"'
+
+echo "== tier-1: corpus record -> replay -> verify round-trip =="
+# Record a cell, replay it (exit 0 = CRC-clean and bit-identical
+# machinery engaged), verify the whole file.
+corpus_file="${TMPDIR:-/tmp}/aos_tier1_corpus.aosc"
+rm -f "$corpus_file"
+cargo run -q --release -p aos-cli -- corpus record \
+    --out "$corpus_file" --workloads mcf --systems aos --scale 0.004 >/dev/null
+cargo run -q --release -p aos-cli -- corpus replay \
+    "$corpus_file" --entry mcf-aos >/dev/null
+cargo run -q --release -p aos-cli -- corpus verify "$corpus_file" >/dev/null
+rm -f "$corpus_file"
+
 echo "== tier-1: batched pipeline smoke =="
 # The streaming bench asserts bit-identical RunStats and telemetry
 # across the materialized, per-op and batched pipeline shapes on every
@@ -45,7 +71,7 @@ cargo run -q --release -p aos-bench --bin streaming_bench -- \
 # The gate is advisory when clippy is not installed (offline image).
 if command -v cargo-clippy >/dev/null 2>&1; then
     echo "== tier-1: clippy unwrap + needless-collect + print-stdout + undocumented-unsafe gate (library crates) =="
-    for crate in aos-util aos-heap aos-mcu aos-hbt aos-isa aos-core aos-fault aos-lint; do
+    for crate in aos-util aos-heap aos-mcu aos-hbt aos-isa aos-core aos-fault aos-lint aos-serve; do
         cargo clippy -q -p "$crate" --no-deps -- \
             -D clippy::unwrap_used -D clippy::needless_collect \
             -D clippy::print_stdout \
