@@ -1,0 +1,36 @@
+//! Criterion bench: simulated cycles per second of wall-clock for the
+//! stage-structured core vs the legacy analytic loop, on the same AOS
+//! hmmer window. The stage core pays for real structures (circular
+//! ROB, RAT, issue heap, split LSQ) — this bench is the regression
+//! fence that keeps that price visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use aos_core::experiment::{run, SystemUnderTest};
+use aos_core::isa::SafetyConfig;
+use aos_core::sim::SimModel;
+use aos_core::workloads::profile::by_name;
+
+fn bench_stage_core(c: &mut Criterion) {
+    let profile = by_name("hmmer").unwrap();
+    let scale = 0.01;
+    let mut group = c.benchmark_group("stage_core");
+    group.sample_size(10);
+    for model in [SimModel::Stage, SimModel::Approximate] {
+        let sut = SystemUnderTest::scaled(SafetyConfig::Aos, scale).with_model(model);
+        // sim-cycles/sec = this run's cycle count divided by the
+        // measured wall time per iteration (the vendored criterion
+        // shim has no Throughput axis, so the division is the
+        // reader's; the cycle count is deterministic per model).
+        group.bench_with_input(
+            BenchmarkId::new("aos_hmmer_1pct", model.name()),
+            &sut,
+            |b, sut| b.iter(|| black_box(run(profile, sut))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stage_core);
+criterion_main!(benches);

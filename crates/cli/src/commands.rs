@@ -5,7 +5,7 @@ use aos_core::experiment::campaign::{matrix, run_campaign, CampaignOptions};
 use aos_core::experiment::{run as run_experiment, SystemUnderTest};
 use aos_core::isa::SafetyConfig;
 use aos_core::security;
-use aos_core::sim::RunStats;
+use aos_core::sim::{Machine, RunStats, SimConfig, SimModel};
 use aos_core::workloads::collisions;
 use aos_core::workloads::microbench::pac_distribution;
 use aos_core::workloads::profile::{self, REAL_WORLD, SPEC2006};
@@ -75,6 +75,15 @@ USAGE:
                                             run the full workload x system
                                             matrix in parallel, write a
                                             JSON report
+  aos ablate [--workload <w>] [--system aos|pa+aos] [--scale <f>]
+             [--mcq <n1,n2,..>] [--bwb <n1,n2,..>]
+             [--model stage|approximate] [--json true] [--out <path>]
+                                            sweep the MCU geometry (MCQ
+                                            depth x BWB entries) on the
+                                            stage-structured core,
+                                            normalized to the Table IV
+                                            point; any violation on the
+                                            benign sweep exits 1
   aos faults [--workload <w>] [--scale <f>] [--seeds <n>]
              [--kinds <k1,k2,..>] [--threads <n>] [--out <path>]
              [--strict true] [--telemetry true]
@@ -360,11 +369,16 @@ pub fn stats(args: &[String]) -> Result<(), String> {
     let telemetry = report.telemetry();
     let names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
     if bool_flag(&parsed, "json") {
+        // v2 added the stage-core pipeline counters (per-stage stall
+        // attribution, store-load replays, exception flushes).
         println!(
-            "{{\n  \"schema\": \"aos-stats/v1\",\n  \"system\": \"{system}\",\n  \
+            "{{\n  \"schema\": \"aos-stats/v2\",\n  \"system\": \"{system}\",\n  \
              \"scale\": {scale},\n  \"workloads\": [{}],\n  \
              \"bwb_hit_rate\": {:.4},\n  \"mcq_peak_occupancy\": {},\n  \
              \"mcq_replays\": {},\n  \"hbt_migration_rows\": {},\n  \
+             \"sim_stall_rob\": {},\n  \"sim_stall_lsq\": {},\n  \
+             \"sim_stall_mcq\": {},\n  \"sim_replays\": {},\n  \
+             \"sim_flushes\": {},\n  \
              \"telemetry\": {}\n}}",
             names
                 .iter()
@@ -375,6 +389,11 @@ pub fn stats(args: &[String]) -> Result<(), String> {
             telemetry.gauge(Gauge::McqPeakOccupancy),
             telemetry.counter(Counter::McqReplays),
             telemetry.counter(Counter::HbtMigrationRows),
+            telemetry.counter(Counter::SimStallRob),
+            telemetry.counter(Counter::SimStallLsq),
+            telemetry.counter(Counter::SimStallMcq),
+            telemetry.counter(Counter::SimReplays),
+            telemetry.counter(Counter::SimFlushes),
             telemetry.to_json("  "),
         );
         return Ok(());
@@ -427,6 +446,170 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
             .write_json(out)
             .map_err(|e| format!("cannot write '{out}': {e}"))?;
         println!("report written to {out}");
+    }
+    Ok(())
+}
+
+/// A comma-separated list of structural sizes for an `aos ablate`
+/// sweep axis (`--mcq`, `--bwb`).
+fn parse_geometry_list(list: &str, flag: &str) -> Result<Vec<usize>, String> {
+    let mut points = Vec::new();
+    for token in list.split(',') {
+        let token = token.trim();
+        let value: usize = token
+            .parse()
+            .map_err(|_| format!("--{flag} has an unparsable entry '{token}'"))?;
+        if value == 0 {
+            return Err(format!("--{flag} entries must be at least 1"));
+        }
+        points.push(value);
+    }
+    Ok(points)
+}
+
+/// One measured point of the `aos ablate` sweep.
+struct AblatePoint {
+    mcq: usize,
+    bwb: usize,
+    stats: RunStats,
+}
+
+/// `aos ablate [--workload w] [--system aos|pa+aos] [--scale f]
+/// [--mcq n1,n2,..] [--bwb n1,n2,..] [--model stage|approximate]
+/// [--json true] [--out path]`.
+///
+/// The MCU-geometry sensitivity study the stage-structured core makes
+/// possible: sweep MCQ depth x BWB entries over one benign workload
+/// and report cycles (normalized to the Table IV point), IPC, the
+/// MCQ-full dispatch-stall count and the BWB hit rate per point. A
+/// violation on the benign sweep is a real finding (exit 1): shrinking
+/// a queue may slow the machine down but must never change what it
+/// detects.
+pub fn ablate(args: &[String]) -> Result<(), CliError> {
+    let parsed = Parsed::parse(args)?;
+    let workload = find_workload(parsed.flag("workload").unwrap_or("hmmer"))?;
+    // Each sweep point is a full machine run: default to a small
+    // window, like the fault sweep does.
+    let scale = scale_or(&parsed, 0.004).map_err(|e| e.to_string())?;
+    let system = parse_system(parsed.flag("system").unwrap_or("aos"))?;
+    if !matches!(system, SafetyConfig::Aos | SafetyConfig::PaAos) {
+        return Err(format!(
+            "ablate sweeps the MCU geometry, which only exists on AOS \
+             systems; --system must be aos or pa+aos, not {system}"
+        )
+        .into());
+    }
+    let model = match parsed.flag("model") {
+        None => SimModel::default(),
+        Some(name) => SimModel::parse(name)
+            .ok_or_else(|| format!("unknown model '{name}' (stage, approximate)"))?,
+    };
+    let mcq_points = parse_geometry_list(parsed.flag("mcq").unwrap_or("12,24,48,96"), "mcq")?;
+    let bwb_points = parse_geometry_list(parsed.flag("bwb").unwrap_or("16,64,128"), "bwb")?;
+
+    let run_point = |mcq: usize, bwb: usize| -> AblatePoint {
+        let sut = SystemUnderTest::scaled(system, scale).with_model(model);
+        let mut config = sut.machine_config();
+        config.mcu.mcq_entries = mcq;
+        config.mcu.bwb_entries = bwb;
+        let mut machine = Machine::new(config);
+        let stats = machine.run(TraceGenerator::new(workload, system, scale));
+        AblatePoint { mcq, bwb, stats }
+    };
+
+    // The Table IV geometry is the normalization reference; reuse the
+    // measurement when the grid contains it.
+    let (ref_mcq, ref_bwb) = (SimConfig::MCQ_ENTRIES, SimConfig::BWB_ENTRIES);
+    let points: Vec<AblatePoint> = mcq_points
+        .iter()
+        .flat_map(|&mcq| bwb_points.iter().map(move |&bwb| (mcq, bwb)))
+        .map(|(mcq, bwb)| run_point(mcq, bwb))
+        .collect();
+    let reference = points
+        .iter()
+        .find(|p| p.mcq == ref_mcq && p.bwb == ref_bwb)
+        .map(|p| p.stats.clone())
+        .unwrap_or_else(|| run_point(ref_mcq, ref_bwb).stats);
+
+    println!(
+        "== aos ablate: {} on {system} @ scale {scale} ({} model) ==",
+        workload.name,
+        model.name()
+    );
+    println!(
+        "reference: mcq={ref_mcq} bwb={ref_bwb} cycles={} (Table IV geometry)",
+        reference.cycles
+    );
+    println!("{:>6} {:>6} {:>12} {:>7} {:>7} {:>11} {:>9} {:>8}",
+        "mcq", "bwb", "cycles", "norm", "ipc", "stall_mcq", "bwb_hit%", "flushes");
+    for p in &points {
+        println!(
+            "{:>6} {:>6} {:>12} {:>7.3} {:>7.3} {:>11} {:>9.2} {:>8}",
+            p.mcq,
+            p.bwb,
+            p.stats.cycles,
+            p.stats.cycles as f64 / reference.cycles as f64,
+            p.stats.ipc(),
+            p.stats.stalls_mcq,
+            p.stats.bwb.hit_rate() * 100.0,
+            p.stats.flushes,
+        );
+    }
+
+    let json = |indent: &str| -> String {
+        let cells: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{indent}  {{\"mcq\": {}, \"bwb\": {}, \"cycles\": {}, \
+                     \"normalized\": {:.6}, \"ipc\": {:.4}, \
+                     \"stall_mcq\": {}, \"lsq_replays\": {}, \
+                     \"flushes\": {}, \"bwb_hit_rate\": {:.4}, \
+                     \"violations\": {}}}",
+                    p.mcq,
+                    p.bwb,
+                    p.stats.cycles,
+                    p.stats.cycles as f64 / reference.cycles as f64,
+                    p.stats.ipc(),
+                    p.stats.stalls_mcq,
+                    p.stats.lsq_replays,
+                    p.stats.flushes,
+                    p.stats.bwb.hit_rate(),
+                    p.stats.violations,
+                )
+            })
+            .collect();
+        format!(
+            "{{\n{indent}\"schema\": \"aos-ablate-report/v1\",\n\
+             {indent}\"workload\": \"{}\",\n{indent}\"system\": \"{system}\",\n\
+             {indent}\"scale\": {scale},\n{indent}\"model\": \"{}\",\n\
+             {indent}\"reference\": {{\"mcq\": {ref_mcq}, \"bwb\": {ref_bwb}, \
+             \"cycles\": {}}},\n{indent}\"points\": [\n{}\n{indent}]\n}}",
+            workload.name,
+            model.name(),
+            reference.cycles,
+            cells.join(",\n"),
+        )
+    };
+    if bool_flag(&parsed, "json") {
+        println!("{}", json("  "));
+    }
+    if let Some(out) = parsed.flag("out") {
+        std::fs::write(out, json("  ") + "\n")
+            .map_err(|e| format!("cannot write '{out}': {e}"))?;
+        println!("report written to {out}");
+    }
+
+    let faulting: Vec<&AblatePoint> = points.iter().filter(|p| p.stats.violations > 0).collect();
+    if !faulting.is_empty() {
+        return Err(CliError::Findings(format!(
+            "{} sweep point(s) reported violations on a benign trace \
+             (first: mcq={} bwb={}); geometry must affect timing, not \
+             detection",
+            faulting.len(),
+            faulting[0].mcq,
+            faulting[0].bwb,
+        )));
     }
     Ok(())
 }
@@ -1052,6 +1235,42 @@ mod tests {
         assert!(text.contains("aos corpus verify"));
         assert!(text.contains("--entry"));
         assert!(text.contains("--mode sim|lint"));
+        // The geometry sweep is documented, axes and model flag
+        // included.
+        assert!(text.contains("aos ablate"));
+        assert!(text.contains("--mcq"));
+        assert!(text.contains("--bwb"));
+        assert!(text.contains("--model stage|approximate"));
+    }
+
+    #[test]
+    fn ablate_exit_code_contract() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // Usage errors: bad axes, bad model, non-AOS system.
+        for bad in [
+            &["--mcq", "0"][..],
+            &["--mcq", "twelve"],
+            &["--bwb", "64,"],
+            &["--model", "rtl"],
+            &["--system", "baseline"],
+            &["--workload", "doom"],
+        ] {
+            assert!(
+                matches!(ablate(&args(bad)), Err(CliError::Usage(_))),
+                "aos ablate {bad:?} must be a usage error"
+            );
+        }
+        // A tiny benign sweep (including the Table IV reference point)
+        // runs clean: geometry affects timing, never detection.
+        assert!(ablate(&args(&[
+            "--scale", "0.002", "--mcq", "24,48", "--bwb", "64",
+        ]))
+        .is_ok());
+        // The legacy model is reachable for A/B sweeps.
+        assert!(ablate(&args(&[
+            "--scale", "0.002", "--mcq", "48", "--bwb", "64", "--model", "approximate",
+        ]))
+        .is_ok());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! aos compare <workload> [--scale f]   all five systems, normalized
 //! aos stats [options]                  merged pipeline telemetry counters
 //! aos campaign [options]               parallel workload x system matrix
+//! aos ablate [options]                 MCQ depth x BWB size geometry sweep
 //! aos faults [options]                 seeded fault-injection sweep
 //! aos lint [options]                   static protocol verification
 //! aos table <1|2|3|4> [--scale f]      reproduce a paper table
@@ -41,6 +42,7 @@ fn main() -> ExitCode {
         "compare" => commands::compare(rest).map_err(CliError::from),
         "stats" => commands::stats(rest).map_err(CliError::from),
         "campaign" => commands::campaign(rest).map_err(CliError::from),
+        "ablate" => commands::ablate(rest),
         "faults" => commands::faults(rest),
         "lint" => commands::lint(rest),
         "table" => commands::table(rest).map_err(CliError::from),

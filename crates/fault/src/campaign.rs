@@ -1,7 +1,7 @@
 //! The fault-injection campaign: a `kind × seed × system` grid run
 //! through the hardened campaign runner, so each trial inherits the
 //! runner's panic isolation, timeout and retry machinery, and the
-//! detection summary rides the `aos-campaign-report/v4` document as a
+//! detection summary rides the `aos-campaign-report/v5` document as a
 //! `fault_detection` annotation.
 
 use std::sync::Arc;
@@ -365,7 +365,7 @@ mod tests {
         let json = outcome.report.to_json();
         assert!(json.contains("\"fault_detection\": {\"trials\": 24,"));
         assert!(json.contains("\"lint_cross_check\": {\"clean_diagnostics\": 0, \"consistent\": true,"));
-        assert!(json.contains("\"schema\": \"aos-campaign-report/v4\""));
+        assert!(json.contains("\"schema\": \"aos-campaign-report/v5\""));
         // Every cell streamed: ops were metered and the pipeline never
         // held more than a window of trace (the clean trace here is
         // tens of thousands of ops).

@@ -1,5 +1,8 @@
-//! The pipeline model: in-order issue, out-of-order completion,
-//! in-order retirement, with the MCU coupled in.
+//! The machine front door: configuration, statistics, and the two
+//! simulation models behind [`Machine::run`] — the default
+//! stage-structured out-of-order core in [`crate::pipeline`] and the
+//! legacy cycle-approximate analytic loop kept in this module behind
+//! [`SimModel::Approximate`].
 
 use std::collections::VecDeque;
 
@@ -12,6 +15,7 @@ use aos_ptrauth::PointerLayout;
 
 use crate::cache::CacheStats;
 use crate::hierarchy::{MemoryHierarchy, TrafficStats};
+use crate::pipeline::StageCore;
 use crate::tage::{Tage, TageConfig};
 
 /// How branch outcomes are predicted.
@@ -24,6 +28,66 @@ pub enum BranchModel {
     /// Run the in-simulator L-TAGE; mispredictions emerge from the
     /// predictor's actual behaviour on the branch stream.
     Tage,
+}
+
+/// Which simulation model executes the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimModel {
+    /// The stage-structured out-of-order core ([`crate::pipeline`]):
+    /// fetch / rename (RAT) / dispatch / execute / LSQ / ROB / commit
+    /// as first-class components, with precise AOS exceptions raised
+    /// at commit (delayed retirement) and a structural store→load
+    /// forwarding + replay path in the LSQ.
+    #[default]
+    Stage,
+    /// The legacy analytic cycle-approximate loop — kept as an A/B
+    /// escape hatch so campaign reports can quantify what the
+    /// structural model changes.
+    Approximate,
+}
+
+impl SimModel {
+    /// Stable wire token (CLI flags, campaign report).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimModel::Stage => "stage",
+            SimModel::Approximate => "approximate",
+        }
+    }
+
+    /// Parses a wire token produced by [`SimModel::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "stage" => Some(SimModel::Stage),
+            "approximate" | "approx" => Some(SimModel::Approximate),
+            _ => None,
+        }
+    }
+}
+
+/// The named Table IV core-geometry constants. `table_iv`, the
+/// `describe()` dump, and the geometry tests all read these, so an
+/// ablation that changes one knob cannot silently drift from the
+/// documented machine.
+pub struct SimConfig;
+
+impl SimConfig {
+    /// Issue (and retire) width.
+    pub const ISSUE_WIDTH: u32 = 8;
+    /// Reorder buffer entries.
+    pub const ROB_ENTRIES: usize = 192;
+    /// Load queue entries.
+    pub const LSQ_LOADS: usize = 32;
+    /// Store queue entries.
+    pub const LSQ_STORES: usize = 32;
+    /// Cycles lost on a charged branch misprediction.
+    pub const MISPREDICT_PENALTY: u64 = 14;
+    /// Memory check queue entries (§V-B).
+    pub const MCQ_ENTRIES: usize = 48;
+    /// Bounds way buffer entries (§V-C).
+    pub const BWB_ENTRIES: usize = 64;
+    /// Background HBT migration bandwidth during gradual resize.
+    pub const MIGRATION_ROWS_PER_CYCLE: u64 = 4;
 }
 
 /// Full machine configuration (Table IV defaults via
@@ -64,28 +128,38 @@ pub struct MachineConfig {
     /// bookkeeping exactly, so statistics are bit-identical either way
     /// — the `event_skip_is_invisible` differential test pins this.
     pub event_skip: bool,
+    /// Which simulation model executes the trace (stage-structured
+    /// core by default; the analytic loop behind
+    /// [`SimModel::Approximate`]).
+    pub model: SimModel,
 }
 
 impl MachineConfig {
     /// The Table IV machine for one of the five evaluated systems:
     /// 8-wide, 192-entry ROB, 32+32 LSQ, 48-entry MCQ, 16-bit PACs,
-    /// initial 1-way HBT, L1-B present, 64-entry BWB.
+    /// initial 1-way HBT, L1-B present, 64-entry BWB — every geometry
+    /// literal sourced from [`SimConfig`].
     pub fn table_iv(config: SafetyConfig) -> Self {
         Self {
-            issue_width: 8,
-            rob_entries: 192,
-            lsq_loads: 32,
-            lsq_stores: 32,
-            mispredict_penalty: 14,
+            issue_width: SimConfig::ISSUE_WIDTH,
+            rob_entries: SimConfig::ROB_ENTRIES,
+            lsq_loads: SimConfig::LSQ_LOADS,
+            lsq_stores: SimConfig::LSQ_STORES,
+            mispredict_penalty: SimConfig::MISPREDICT_PENALTY,
             with_l1b: true,
             layout: PointerLayout::default(),
-            mcu: McuConfig::default(),
+            mcu: McuConfig {
+                mcq_entries: SimConfig::MCQ_ENTRIES,
+                bwb_entries: SimConfig::BWB_ENTRIES,
+                ..McuConfig::default()
+            },
             hbt: HbtConfig::default(),
             aos_enabled: config.uses_aos(),
-            migration_rows_per_cycle: 4,
+            migration_rows_per_cycle: SimConfig::MIGRATION_ROWS_PER_CYCLE,
             branch_model: BranchModel::default(),
             telemetry: false,
             event_skip: true,
+            model: SimModel::default(),
         }
     }
 
@@ -169,6 +243,14 @@ pub struct RunStats {
     pub stalls_lsq: u64,
     /// Issue stalls charged to a full MCQ (the paper's back-pressure).
     pub stalls_mcq: u64,
+    /// Loads the stage-core LSQ replayed after an older in-window
+    /// store resolved to an overlapping address (always zero under
+    /// [`SimModel::Approximate`], which has no ordering speculation).
+    pub lsq_replays: u64,
+    /// Precise-exception pipeline flushes: commits of a faulted op
+    /// that squashed everything younger (always zero under
+    /// [`SimModel::Approximate`], which charges faults at event time).
+    pub flushes: u64,
     /// Pipeline telemetry snapshot (all-zero/disabled when the config
     /// did not enable telemetry). Deterministic for a given
     /// `(trace, config)`, so the derived `PartialEq` still certifies
@@ -208,7 +290,7 @@ struct RobEntry {
 /// The event-skip fast-forward replays the per-cycle hazard counter
 /// the blocked cycle would have charged, once per skipped cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StallKind {
+pub(crate) enum StallKind {
     /// Nothing blocked; the group ended because the trace ran dry.
     None,
     /// The front end is flushed until `fetch_resume_at`.
@@ -221,8 +303,8 @@ enum StallKind {
     Mcq,
 }
 
-struct BoundsPort<'a> {
-    hierarchy: &'a mut MemoryHierarchy,
+pub(crate) struct BoundsPort<'a> {
+    pub(crate) hierarchy: &'a mut MemoryHierarchy,
 }
 
 impl BoundsMemory for BoundsPort<'_> {
@@ -239,41 +321,50 @@ impl BoundsMemory for BoundsPort<'_> {
 ///
 /// See the [crate docs](crate) for an example and the modeling notes.
 pub struct Machine {
-    config: MachineConfig,
-    hierarchy: MemoryHierarchy,
-    mcu: MemoryCheckUnit,
-    hbt: HashedBoundsTable,
-    now: u64,
+    pub(crate) config: MachineConfig,
+    pub(crate) hierarchy: MemoryHierarchy,
+    pub(crate) mcu: MemoryCheckUnit,
+    pub(crate) hbt: HashedBoundsTable,
+    pub(crate) now: u64,
     rob: VecDeque<RobEntry>,
     loads_inflight: usize,
     stores_inflight: usize,
     fetch_resume_at: u64,
-    prev_cycle_stalled: bool,
-    mix: InstMix,
-    retired_ops: u64,
-    violations: u64,
-    hbt_resizes: u64,
-    charged_mispredicts: u64,
-    waived_mispredicts: u64,
-    stall_cycles: u64,
-    stalls_rob: u64,
-    stalls_lsq: u64,
-    stalls_mcq: u64,
-    mcu_events: Vec<McuEvent>,
+    pub(crate) prev_cycle_stalled: bool,
+    pub(crate) mix: InstMix,
+    pub(crate) retired_ops: u64,
+    pub(crate) violations: u64,
+    pub(crate) hbt_resizes: u64,
+    pub(crate) charged_mispredicts: u64,
+    pub(crate) waived_mispredicts: u64,
+    pub(crate) stall_cycles: u64,
+    pub(crate) stalls_rob: u64,
+    pub(crate) stalls_lsq: u64,
+    pub(crate) stalls_mcq: u64,
+    pub(crate) lsq_replays: u64,
+    pub(crate) flushes: u64,
+    /// Counter values already published to telemetry by earlier runs
+    /// of this machine — `collect_stats` publishes only the delta so
+    /// accumulating runs never double-count.
+    published_sim_counters: [u64; 5],
+    pub(crate) mcu_events: Vec<McuEvent>,
     /// Reusable buffer for HBT metadata-line drains — avoids a `Vec`
     /// allocation per simulated cycle on the checking path.
-    bounds_lines: Vec<u64>,
+    pub(crate) bounds_lines: Vec<u64>,
     /// Completion time of the most recent *chained* load — the running
-    /// pointer-traversal dependence.
+    /// pointer-traversal dependence (approximate model only; the stage
+    /// core tracks the dependence through its RAT).
     last_chain_complete: u64,
     /// The L-TAGE instance, when `branch_model` is `Tage`.
-    tage: Option<Tage>,
+    pub(crate) tage: Option<Tage>,
+    /// The stage-structured pipeline state ([`SimModel::Stage`]).
+    pub(crate) stage: StageCore,
     /// The registry handle shared with the MCU, BWB and HBT.
-    telemetry: aos_util::Telemetry,
+    pub(crate) telemetry: aos_util::Telemetry,
     /// `AOS_SIM_DEBUG` presence, sampled once at construction — the
     /// run loop is the hottest code in the repository and must not
     /// query the environment every cycle.
-    debug: bool,
+    pub(crate) debug: bool,
 }
 
 impl Machine {
@@ -305,6 +396,9 @@ impl Machine {
             stalls_rob: 0,
             stalls_lsq: 0,
             stalls_mcq: 0,
+            lsq_replays: 0,
+            flushes: 0,
+            published_sim_counters: [0; 5],
             mcu_events: Vec::new(),
             bounds_lines: Vec::new(),
             last_chain_complete: 0,
@@ -312,6 +406,7 @@ impl Machine {
                 BranchModel::Tage => Some(Tage::new(TageConfig::default())),
                 BranchModel::TraceProvided => None,
             },
+            stage: StageCore::new(&config),
             debug: std::env::var_os("AOS_SIM_DEBUG").is_some(),
             telemetry,
             config,
@@ -331,12 +426,24 @@ impl Machine {
 
     /// Runs a trace to completion and returns the statistics.
     ///
+    /// Dispatches on [`MachineConfig::model`]: the stage-structured
+    /// out-of-order core by default, the legacy analytic loop under
+    /// [`SimModel::Approximate`].
+    ///
     /// # Panics
     ///
     /// Panics if the simulation fails to make forward progress (a
     /// model bug, bounded at 2^40 cycles).
     pub fn run<I: IntoIterator<Item = Op>>(&mut self, trace: I) -> RunStats {
-        let mut trace = trace.into_iter();
+        let trace = trace.into_iter();
+        match self.config.model {
+            SimModel::Stage => self.run_stage(trace),
+            SimModel::Approximate => self.run_approximate(trace),
+        }
+    }
+
+    /// The legacy analytic cycle-approximate loop ([`SimModel::Approximate`]).
+    fn run_approximate<I: Iterator<Item = Op>>(&mut self, mut trace: I) -> RunStats {
         let mut pending: Option<Op> = None;
         loop {
             self.tick_mcu();
@@ -403,9 +510,37 @@ impl Machine {
             }
             assert!(self.now < 1 << 40, "simulation failed to make progress");
         }
+        self.collect_stats()
+    }
+
+    /// Publishes run-loop telemetry deltas and snapshots the run's
+    /// statistics — shared by both simulation models.
+    pub(crate) fn collect_stats(&mut self) -> RunStats {
         // Publish the per-component counters accumulated during the
         // run before the snapshot below reads them.
         self.mcu.flush_telemetry();
+        let current = [
+            self.stalls_rob,
+            self.stalls_lsq,
+            self.stalls_mcq,
+            self.lsq_replays,
+            self.flushes,
+        ];
+        let counters = [
+            aos_util::Counter::SimStallRob,
+            aos_util::Counter::SimStallLsq,
+            aos_util::Counter::SimStallMcq,
+            aos_util::Counter::SimReplays,
+            aos_util::Counter::SimFlushes,
+        ];
+        for ((counter, &value), published) in counters
+            .iter()
+            .zip(current.iter())
+            .zip(self.published_sim_counters.iter_mut())
+        {
+            self.telemetry.add(*counter, value - *published);
+            *published = value;
+        }
         RunStats {
             cycles: self.now,
             retired_ops: self.retired_ops,
@@ -425,6 +560,8 @@ impl Machine {
             stalls_rob: self.stalls_rob,
             stalls_lsq: self.stalls_lsq,
             stalls_mcq: self.stalls_mcq,
+            lsq_replays: self.lsq_replays,
+            flushes: self.flushes,
             telemetry: self.telemetry.snapshot(),
         }
     }
@@ -946,11 +1083,26 @@ mod tests {
     fn table_iv_description_lists_parameters() {
         let cfg = MachineConfig::table_iv(SafetyConfig::Aos);
         let d = cfg.describe();
-        assert!(d.contains("8-wide"));
-        assert!(d.contains("192 ROB"));
-        assert!(d.contains("48 MCQ"));
+        // Geometry strings come from the named SimConfig constants, so
+        // the asserts can't drift from the documented machine.
+        assert!(d.contains(&format!("{}-wide", SimConfig::ISSUE_WIDTH)));
+        assert!(d.contains(&format!("{} ROB", SimConfig::ROB_ENTRIES)));
+        assert!(d.contains(&format!("{} MCQ", SimConfig::MCQ_ENTRIES)));
         assert!(d.contains("16-bit PAC"));
         assert!(d.contains("4 MB"));
+    }
+
+    #[test]
+    fn table_iv_geometry_comes_from_sim_config() {
+        let cfg = MachineConfig::table_iv(SafetyConfig::Aos);
+        assert_eq!(cfg.issue_width, SimConfig::ISSUE_WIDTH);
+        assert_eq!(cfg.rob_entries, SimConfig::ROB_ENTRIES);
+        assert_eq!(cfg.lsq_loads, SimConfig::LSQ_LOADS);
+        assert_eq!(cfg.lsq_stores, SimConfig::LSQ_STORES);
+        assert_eq!(cfg.mispredict_penalty, SimConfig::MISPREDICT_PENALTY);
+        assert_eq!(cfg.mcu.mcq_entries, SimConfig::MCQ_ENTRIES);
+        assert_eq!(cfg.mcu.bwb_entries, SimConfig::BWB_ENTRIES);
+        assert_eq!(cfg.model, SimModel::Stage, "stage core is the default");
     }
 
     #[test]

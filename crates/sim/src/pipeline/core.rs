@@ -1,0 +1,494 @@
+//! The assembled stage core and its cycle loop.
+//!
+//! Each simulated cycle advances the stages back to front, mirroring
+//! the analytic loop's order so that clean-run statistics line up
+//! between the two models: MCU tick → HBT migration → writeback →
+//! commit → dispatch → stall bookkeeping → event-skip fast-forward.
+//!
+//! Where the models genuinely differ:
+//!
+//! - **Precise exceptions.** A failing AOS check is latched on the
+//!   faulting op's ROB entry and raised only when that entry reaches
+//!   the commit point (delayed retirement). The flush squashes every
+//!   younger op — rolling back their renames, LSQ slots and MCQ
+//!   entries — and refetches them through the front end after a
+//!   redirect penalty. The analytic model charges the fault at event
+//!   time and never flushes, so `flushes` is always zero there.
+//! - **Memory-order speculation.** Loads probe the store queue: a full
+//!   cover by an older resolved store forwards, a same-cycle or
+//!   partial overlap replays (`lsq_replays`). The analytic model has
+//!   no store queue to disambiguate against.
+//! - **Chain dependences** thread through the RAT instead of a scalar
+//!   completion time, which is what makes rename rollback on a flush
+//!   meaningful.
+
+use aos_isa::Op;
+use aos_mcu::{AosException, McuEvent, McuOp};
+
+use crate::machine::{BoundsPort, Machine, MachineConfig, RunStats, StallKind};
+
+use super::fetch::FetchUnit;
+use super::issue::IssueQueue;
+use super::lsq::{LoadPath, LoadStoreQueue, LsqEntry};
+use super::rename::{RegisterAliasTable, CHAIN_REG};
+use super::rob::{ReorderBuffer, RobEntry};
+
+/// The stage-structured pipeline state, one instance per [`Machine`].
+pub struct StageCore {
+    /// Front end: trace tap, parking slot, refetch buffer, redirect.
+    pub fetch: FetchUnit,
+    /// Decode/rename.
+    pub rat: RegisterAliasTable,
+    /// Issue window / writeback scheduler.
+    pub issue: IssueQueue,
+    /// Split load/store queues.
+    pub lsq: LoadStoreQueue,
+    /// The reorder buffer.
+    pub rob: ReorderBuffer,
+}
+
+impl StageCore {
+    /// Builds the core from the machine geometry. The physical
+    /// register file is sized for the ROB window so rename can never
+    /// run out of registers.
+    pub fn new(config: &MachineConfig) -> Self {
+        Self {
+            fetch: FetchUnit::new(),
+            rat: RegisterAliasTable::new(config.rob_entries),
+            issue: IssueQueue::new(),
+            lsq: LoadStoreQueue::new(config.lsq_loads, config.lsq_stores),
+            rob: ReorderBuffer::new(config.rob_entries),
+        }
+    }
+}
+
+impl Machine {
+    /// The stage-structured run loop ([`crate::SimModel::Stage`]).
+    pub(crate) fn run_stage<I: Iterator<Item = Op>>(&mut self, mut trace: I) -> RunStats {
+        loop {
+            self.stage_tick_mcu();
+            if self.hbt.in_migration() {
+                self.hbt.step_migration(self.config.migration_rows_per_cycle);
+            }
+            self.stage.issue.drain_completed(self.now, &mut self.stage.rob);
+            let committed = self.stage_commit();
+            let (dispatched, stall_kind) = self.stage_dispatch(&mut trace);
+            let stalled = dispatched == 0
+                && (self.stage.fetch.has_buffered() || !self.stage.rob.is_empty());
+            if stalled && self.stage.fetch.has_buffered() {
+                self.stall_cycles += 1;
+            }
+            self.prev_cycle_stalled = stalled;
+            // Event-skip fast-forward, exactly as in the analytic loop:
+            // when the cycle did nothing and every in-flight operation
+            // waits on a known future cycle, jump there and replay the
+            // per-cycle stall bookkeeping the skipped iterations would
+            // have charged. Writebacks inside the gap are safe to skip
+            // past — completion only matters once the entry reaches the
+            // commit point, and the ROB head is a wake candidate.
+            if self.config.event_skip
+                && dispatched == 0
+                && committed == 0
+                && !self.hbt.in_migration()
+                && (self.stage.fetch.has_buffered()
+                    || !self.stage.rob.is_empty()
+                    || !self.mcu.is_empty())
+            {
+                let wake = self.stage_wake_cycle();
+                if wake != u64::MAX && wake > self.now + 1 {
+                    let skipped = wake - self.now - 1;
+                    if self.stage.fetch.has_buffered() {
+                        self.stall_cycles += skipped;
+                    }
+                    match stall_kind {
+                        StallKind::Rob => self.stalls_rob += skipped,
+                        StallKind::Lsq => self.stalls_lsq += skipped,
+                        StallKind::Mcq => self.stalls_mcq += skipped,
+                        StallKind::Fetch | StallKind::None => {}
+                    }
+                    self.now += skipped;
+                }
+            }
+            self.now += 1;
+            if !self.stage.fetch.has_buffered()
+                && self.stage.rob.is_empty()
+                && self.mcu.is_empty()
+            {
+                // Trace might still hold ops (dispatch broke on width).
+                match trace.next() {
+                    Some(op) => self.stage.fetch.park(op),
+                    None => break,
+                }
+            }
+            if self.debug && self.now.is_multiple_of(1_000_000) {
+                eprintln!(
+                    "[sim] now={} retired={} rob={} mcu={} loads={} stores={} inflight={}",
+                    self.now,
+                    self.retired_ops,
+                    self.stage.rob.len(),
+                    self.mcu.len(),
+                    self.stage.lsq.loads_len(),
+                    self.stage.lsq.stores_len(),
+                    self.stage.issue.len(),
+                );
+            }
+            assert!(self.now < 1 << 40, "simulation failed to make progress");
+        }
+        self.collect_stats()
+    }
+
+    /// The earliest future cycle at which the frozen pipeline can make
+    /// progress (see the analytic model's `wake_cycle`; the only
+    /// stage-specific candidate is the uncompleted ROB head).
+    fn stage_wake_cycle(&self) -> u64 {
+        let mut wake = u64::MAX;
+        if let Some(head) = self.stage.rob.head() {
+            if !head.completed {
+                // Writeback marked everything due this cycle, so an
+                // uncompleted head strictly postdates `now`.
+                wake = head.complete_at;
+            }
+            // A completed head still blocked is waiting on its MCQ
+            // entry; the MCU candidate below covers it.
+        }
+        if self.config.aos_enabled && !self.mcu.is_empty() {
+            wake = wake.min(self.mcu.next_wake(self.now));
+        }
+        if self.stage.fetch.resume_at > self.now {
+            wake = wake.min(self.stage.fetch.resume_at);
+        }
+        wake
+    }
+
+    /// Steps the MCU and latches any raised exception on the faulting
+    /// op's ROB entry, to be raised precisely at the commit point. The
+    /// growable-table path (a bounds store that fails only because the
+    /// row is full) is an OS resize + retry, not a fault — identical
+    /// to the analytic model.
+    fn stage_tick_mcu(&mut self) {
+        if !self.config.aos_enabled || self.mcu.is_empty() {
+            return;
+        }
+        let mut port = BoundsPort {
+            hierarchy: &mut self.hierarchy,
+        };
+        self.mcu
+            .tick(self.now, &mut self.hbt, &mut port, &mut self.mcu_events);
+        let events = std::mem::take(&mut self.mcu_events);
+        for ev in &events {
+            if let McuEvent::Exception { id, exception } = ev {
+                if matches!(exception, AosException::BoundsStoreFailure { .. })
+                    && self.hbt.try_begin_resize().is_ok()
+                {
+                    // OS handler: allocate a doubled table, migrate in
+                    // the background, and retry the store (§V-F3).
+                    self.hbt_resizes += 1;
+                    self.mcu.retry(*id);
+                    continue;
+                }
+                // Everything else is a real fault: latch it on the
+                // owning ROB entry for delayed retirement. The latch
+                // also marks the entry completed — the op produces an
+                // exception, not a value.
+                let mut latched = false;
+                for e in self.stage.rob.iter_mut() {
+                    if e.mcq_id == Some(*id) {
+                        e.faulted = true;
+                        e.completed = true;
+                        latched = true;
+                        break;
+                    }
+                }
+                if !latched {
+                    // The owning entry is gone (cannot happen while
+                    // flushes squash MCQ entries alongside ROB entries;
+                    // kept as a defensive fallback so a model bug
+                    // degrades to event-time accounting, not a hang).
+                    self.violations += 1;
+                    self.telemetry.count(aos_util::Counter::SimViolations);
+                    self.mcu.drop_failed(*id);
+                }
+            }
+        }
+        self.mcu_events = events;
+        self.mcu_events.clear();
+        // Drain any functional-path access recording (see the analytic
+        // model's tick for why this stays empty in timing mode).
+        if self.hbt.pending_accesses() > 0 {
+            self.bounds_lines.clear();
+            self.hbt.drain_accesses_into(&mut self.bounds_lines);
+        }
+    }
+
+    /// Retires up to `issue_width` completed ops from the ROB head; a
+    /// faulted head raises its exception and flushes instead.
+    fn stage_commit(&mut self) -> u32 {
+        let mut committed = 0;
+        while committed < self.config.issue_width {
+            let Some(head) = self.stage.rob.head() else { break };
+            if !head.completed {
+                break;
+            }
+            if head.faulted {
+                self.stage_raise_and_flush();
+                committed += 1;
+                break;
+            }
+            if let Some(id) = head.mcq_id {
+                // can_retire + mark_committed in one queue lookup.
+                if !self.mcu.commit_if_retirable(id) {
+                    break;
+                }
+            }
+            let head = self.stage.rob.pop_head();
+            self.stage_release(&head);
+            committed += 1;
+        }
+        committed
+    }
+
+    /// Architectural retirement bookkeeping shared by clean commits and
+    /// the faulting op itself (which retires by raising — the OS
+    /// "report and resume" policy then drops it).
+    fn stage_release(&mut self, entry: &RobEntry) {
+        if entry.is_load || entry.is_store {
+            self.stage.lsq.release(entry.seq, entry.is_store);
+        }
+        if let Some(dest) = entry.dest {
+            self.stage.rat.commit(&dest);
+        }
+        // The mix is recorded at commit: squashed wrong-path ops never
+        // count, refetched ops count exactly once.
+        self.mix.record(&entry.op, self.config.layout);
+        self.retired_ops += 1;
+    }
+
+    /// The precise-exception path: raise the latched fault at the
+    /// commit point, squash everything younger (ROB, renames, LSQ,
+    /// MCQ), refetch the squashed ops through the front end, and
+    /// redirect fetch.
+    fn stage_raise_and_flush(&mut self) {
+        let head = self.stage.rob.pop_head();
+        self.violations += 1;
+        self.telemetry.count(aos_util::Counter::SimViolations);
+        if let Some(id) = head.mcq_id {
+            self.mcu.drop_failed(id);
+            self.mcu.squash_newer(id);
+        }
+        self.stage_release(&head);
+        self.stage.fetch.begin_flush();
+        while let Some(e) = self.stage.rob.pop_tail() {
+            // Youngest-first: each rollback undoes the current mapping,
+            // and each prepend lands in front, restoring program order.
+            if let Some(dest) = e.dest {
+                self.stage.rat.rollback(&dest);
+            }
+            self.stage.fetch.prepend_squashed(e.op);
+        }
+        self.stage.lsq.squash_newer(head.seq);
+        self.flushes += 1;
+        self.stage.fetch.resume_at = self
+            .stage
+            .fetch
+            .resume_at
+            .max(self.now + self.config.mispredict_penalty);
+    }
+
+    /// Renames and dispatches up to `issue_width` ops into the ROB,
+    /// LSQ, issue window and MCQ, charging structural stalls to the
+    /// unit that blocked (a full MCQ back-pressures dispatch exactly
+    /// like a full ROB — the paper's §IX-A effect).
+    fn stage_dispatch(
+        &mut self,
+        trace: &mut impl Iterator<Item = Op>,
+    ) -> (u32, StallKind) {
+        let mut dispatched = 0;
+        let mut stall = StallKind::None;
+        while dispatched < self.config.issue_width {
+            if self.now < self.stage.fetch.resume_at {
+                stall = StallKind::Fetch;
+                break;
+            }
+            let Some(op) = self.stage.fetch.take(trace) else {
+                break;
+            };
+            // Structural hazards.
+            if self.stage.rob.is_full() {
+                self.stalls_rob += 1;
+                stall = StallKind::Rob;
+                self.stage.fetch.park(op);
+                break;
+            }
+            let memref = op.memory_ref(self.config.layout);
+            let takes_lsq = op.occupies_lsq();
+            if let Some(m) = memref {
+                // LSQ entries are held from dispatch until retirement,
+                // as in real hardware.
+                let full = takes_lsq
+                    && if m.is_store {
+                        self.stage.lsq.stores_full()
+                    } else {
+                        self.stage.lsq.loads_full()
+                    };
+                if full {
+                    self.stalls_lsq += 1;
+                    stall = StallKind::Lsq;
+                    self.stage.fetch.park(op);
+                    break;
+                }
+            }
+            let to_mcu = self.config.aos_enabled && op.needs_mcu();
+            if to_mcu && !self.mcu.has_capacity() {
+                self.stalls_mcq += 1;
+                stall = StallKind::Mcq;
+                self.stage.fetch.park(op);
+                break;
+            }
+
+            // Rename + execute. Pointer-chasing loads read the chain
+            // register: they cannot start until the previous link of
+            // the traversal delivered their address.
+            let chained = matches!(op, Op::Load { chained: true, .. });
+            let mut start_at = self.now;
+            if chained {
+                start_at = start_at.max(self.stage.rat.ready_at(CHAIN_REG));
+            }
+            let complete_at = if let Some(m) = memref {
+                // The cache access always happens — even a forwarded
+                // load probes the hierarchy — so cache and traffic
+                // statistics stay comparable with the analytic model.
+                let latency = if m.metadata {
+                    self.hierarchy.access_bounds(m.addr, m.bytes, m.is_store)
+                } else {
+                    self.hierarchy.access_data(m.addr, m.bytes, m.is_store)
+                };
+                if m.is_store {
+                    // Stores retire once address and data are ready and
+                    // drain from the post-commit store buffer; their
+                    // cache latency is charged as traffic, not as a
+                    // retirement block.
+                    self.now + 1
+                } else {
+                    let path = if takes_lsq {
+                        self.stage.lsq.classify_load(m.addr, m.bytes, self.now)
+                    } else {
+                        LoadPath::Normal
+                    };
+                    match path {
+                        LoadPath::Normal => start_at + latency,
+                        // Forwarded data arrives a cycle after both the
+                        // load's start and the store's data — never
+                        // slower than an L1 hit.
+                        LoadPath::Forward { data_ready_at } => {
+                            start_at.max(data_ready_at) + 1
+                        }
+                        // One bubble to re-issue past the conflicting
+                        // store, then the ordinary access latency.
+                        LoadPath::Replay => {
+                            self.lsq_replays += 1;
+                            start_at + latency + 1
+                        }
+                    }
+                }
+            } else {
+                self.now + op.exec_latency()
+            };
+            let dest = if memref.is_some_and(|m| !m.is_store) {
+                let logical = if chained {
+                    CHAIN_REG
+                } else {
+                    self.stage.rat.next_scratch()
+                };
+                Some(self.stage.rat.rename(logical, complete_at))
+            } else {
+                None
+            };
+            if let Op::Branch {
+                pc,
+                taken,
+                mispredicted,
+            } = op
+            {
+                let missed = match &mut self.tage {
+                    Some(tage) => {
+                        let prediction = tage.predict(pc);
+                        tage.update(pc, taken, prediction)
+                    }
+                    None => mispredicted,
+                };
+                if missed {
+                    if self.prev_cycle_stalled {
+                        // The front end was already blocked, so the
+                        // wrong path never issued (§IX-A back-pressure
+                        // effect).
+                        self.waived_mispredicts += 1;
+                    } else {
+                        self.charged_mispredicts += 1;
+                        self.stage.fetch.resume_at = self
+                            .stage
+                            .fetch
+                            .resume_at
+                            .max(complete_at + self.config.mispredict_penalty);
+                    }
+                }
+            }
+            let mcq_id = if to_mcu {
+                let mcu_op = match op {
+                    Op::Load { pointer, .. } => McuOp::Access {
+                        pointer,
+                        is_store: false,
+                    },
+                    Op::Store { pointer, .. } => McuOp::Access {
+                        pointer,
+                        is_store: true,
+                    },
+                    Op::BndStr { pointer, size } => McuOp::BndStr { pointer, size },
+                    Op::BndClr { pointer } => McuOp::BndClr { pointer },
+                    _ => unreachable!("needs_mcu covers only memory and bounds ops"),
+                };
+                Some(
+                    self.mcu
+                        .issue(mcu_op, start_at)
+                        .unwrap_or_else(|_| unreachable!("capacity checked above")),
+                )
+            } else {
+                None
+            };
+            let (seq, slot) = self.stage.rob.alloc(RobEntry {
+                seq: 0, // assigned by the ROB
+                op,
+                complete_at,
+                completed: false,
+                faulted: false,
+                mcq_id,
+                is_load: takes_lsq && memref.is_some_and(|m| !m.is_store),
+                is_store: takes_lsq && memref.is_some_and(|m| m.is_store),
+                dest,
+            });
+            if takes_lsq {
+                if let Some(m) = memref {
+                    let entry = LsqEntry {
+                        seq,
+                        addr: m.addr,
+                        bytes: m.bytes,
+                        dispatched_at: self.now,
+                        data_ready_at: complete_at,
+                    };
+                    if m.is_store {
+                        self.stage.lsq.push_store(entry);
+                    } else {
+                        self.stage.lsq.push_load(entry);
+                    }
+                }
+            }
+            self.stage.issue.dispatch(complete_at, seq, slot);
+            dispatched += 1;
+            // Call-path QARMA (pacia/autia) sits on the critical path:
+            // end the dispatch group, costing roughly one fetch bubble.
+            if matches!(op, Op::PacCrypto) {
+                break;
+            }
+        }
+        (dispatched, stall)
+    }
+}

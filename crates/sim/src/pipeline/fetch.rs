@@ -1,0 +1,94 @@
+//! The fetch front end: the trace tap, the one-op pending slot a
+//! structural hazard parks on, the post-flush replay buffer, and the
+//! fetch-redirect timer.
+//!
+//! The trace plays the role of a perfect instruction supply, so fetch
+//! does not model an I-cache; what it models structurally is the ways
+//! ops can be *waiting to re-enter* the pipeline: an op bounced by a
+//! full ROB/LSQ/MCQ (`pending`), ops squashed by a precise-exception
+//! flush awaiting refetch in program order (`replay`), and the cycles
+//! the front end is dark after a mispredict or flush (`resume_at`).
+
+use std::collections::VecDeque;
+
+use aos_isa::Op;
+
+/// The fetch unit.
+#[derive(Debug, Default)]
+pub struct FetchUnit {
+    /// An op that failed a structural check this cycle and re-tries
+    /// next cycle — always older than anything in `replay`.
+    pending: Option<Op>,
+    /// Squashed ops awaiting refetch, in program order.
+    replay: VecDeque<Op>,
+    /// First cycle the front end may deliver again after a redirect.
+    pub resume_at: u64,
+}
+
+impl FetchUnit {
+    /// A fresh front end.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any op is buffered ahead of the trace (the "work still
+    /// exists" half of the stall bookkeeping).
+    pub fn has_buffered(&self) -> bool {
+        self.pending.is_some() || !self.replay.is_empty()
+    }
+
+    /// Delivers the next op in program order: the parked op first,
+    /// then refetches, then the trace.
+    pub fn take(&mut self, trace: &mut impl Iterator<Item = Op>) -> Option<Op> {
+        self.pending
+            .take()
+            .or_else(|| self.replay.pop_front())
+            .or_else(|| trace.next())
+    }
+
+    /// Parks an op that failed a structural check; it is redelivered
+    /// first by the next [`FetchUnit::take`].
+    pub fn park(&mut self, op: Op) {
+        debug_assert!(self.pending.is_none(), "only one op parks per cycle");
+        self.pending = Some(op);
+    }
+
+    /// Begins a flush: the parked op (younger than everything being
+    /// squashed) moves behind the refetch window so that
+    /// [`FetchUnit::prepend_squashed`] can stack the squashed ops in
+    /// front of it.
+    pub fn begin_flush(&mut self) {
+        if let Some(op) = self.pending.take() {
+            self.replay.push_front(op);
+        }
+    }
+
+    /// Prepends one squashed op. The flush walks the ROB youngest
+    /// first, so successive calls stack progressively *older* ops in
+    /// front — the buffer ends in program order.
+    pub fn prepend_squashed(&mut self, op: Op) {
+        self.replay.push_front(op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_order_is_pending_then_replay_then_trace() {
+        let mut fetch = FetchUnit::new();
+        let mut trace = vec![Op::IntMul].into_iter();
+        fetch.park(Op::IntAlu);
+        fetch.begin_flush();
+        fetch.prepend_squashed(Op::PacCrypto); // younger squashed op
+        fetch.prepend_squashed(Op::FpAlu); // older squashed op
+        assert!(fetch.has_buffered());
+        assert_eq!(fetch.take(&mut trace), Some(Op::FpAlu));
+        assert_eq!(fetch.take(&mut trace), Some(Op::PacCrypto));
+        assert_eq!(fetch.take(&mut trace), Some(Op::IntAlu));
+        assert!(!fetch.has_buffered(), "buffer drained before the trace");
+        assert_eq!(fetch.take(&mut trace), Some(Op::IntMul));
+        assert_eq!(fetch.take(&mut trace), None);
+    }
+}

@@ -1,0 +1,31 @@
+//! The stage-structured out-of-order core ([`SimModel::Stage`]): the
+//! pipeline decomposed into first-class components instead of the
+//! analytic shortcuts of the legacy loop.
+//!
+//! - [`fetch::FetchUnit`] — the trace tap, structural-hazard parking
+//!   slot, post-flush refetch buffer, and redirect timer.
+//! - [`rename::RegisterAliasTable`] — decode/rename; threads the
+//!   pointer-chase dependence through a real RAT with rollback.
+//! - [`issue::IssueQueue`] — the issue window / writeback scheduler.
+//! - [`lsq::LoadStoreQueue`] — split load/store queues with a
+//!   store→load forwarding and store-load replay path.
+//! - [`rob::ReorderBuffer`] — circular ROB; precise AOS exceptions are
+//!   latched on the faulting entry and raised when it reaches the
+//!   commit point (delayed retirement, paper §V-B), squashing younger
+//!   ops and refetching them.
+//! - [`core::StageCore`] — the assembled core plus the cycle loop
+//!   (`Machine::run_stage`) wiring the stages to the MCU/BWB and the
+//!   memory hierarchy. The MCU's check queue is a structural unit of
+//!   this pipeline: a full MCQ back-pressures dispatch exactly like a
+//!   full ROB or LSQ.
+//!
+//! [`SimModel::Stage`]: crate::SimModel::Stage
+
+pub mod core;
+pub mod fetch;
+pub mod issue;
+pub mod lsq;
+pub mod rename;
+pub mod rob;
+
+pub use self::core::StageCore;

@@ -1,0 +1,249 @@
+//! The reorder buffer: a fixed-capacity circular buffer of in-flight
+//! ops in program order.
+//!
+//! Every dispatched op allocates the tail entry and receives a
+//! monotonically increasing sequence number; commit retires from the
+//! head, and a precise-exception flush pops from the tail. Sequence
+//! numbers are never reused, so a stale writeback (scheduled before a
+//! flush squashed its entry) can be recognized by comparing the seq it
+//! recorded against the seq currently occupying the slot.
+
+use aos_isa::Op;
+
+use super::rename::Rename;
+
+/// One in-flight op.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Program-order sequence number (globally unique per machine).
+    pub seq: u64,
+    /// The op itself — kept so a flush can refetch it.
+    pub op: Op,
+    /// Cycle the op's result is (or will be) available.
+    pub complete_at: u64,
+    /// Set by writeback once `complete_at` has passed.
+    pub completed: bool,
+    /// A precise AOS exception latched on this entry, to be raised
+    /// when the entry reaches the commit point (delayed retirement).
+    pub faulted: bool,
+    /// The MCU queue entry coupled to this op, when AOS is checking.
+    pub mcq_id: Option<u64>,
+    /// Whether the op holds a load-queue entry until retirement.
+    pub is_load: bool,
+    /// Whether the op holds a store-queue entry until retirement.
+    pub is_store: bool,
+    /// Register-rename bookkeeping for rollback/commit, when the op
+    /// wrote a destination register.
+    pub dest: Option<Rename>,
+}
+
+/// The circular reorder buffer.
+#[derive(Debug)]
+pub struct ReorderBuffer {
+    slots: Vec<Option<RobEntry>>,
+    head: usize,
+    len: usize,
+    /// Sequence number the next allocated entry receives.
+    next_seq: u64,
+}
+
+impl ReorderBuffer {
+    /// An empty buffer with `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ROB needs at least one entry");
+        Self {
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether dispatch must stall.
+    pub fn is_full(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Allocates the tail entry, assigning its sequence number.
+    /// Returns `(seq, slot)` — the slot index is what writeback uses
+    /// to find the entry again without assuming seq contiguity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full — the dispatch stage checks
+    /// [`ReorderBuffer::is_full`] first.
+    pub fn alloc(&mut self, mut entry: RobEntry) -> (u64, usize) {
+        assert!(!self.is_full(), "ROB overflow: dispatch must check first");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        entry.seq = seq;
+        let idx = (self.head + self.len) % self.slots.len();
+        self.slots[idx] = Some(entry);
+        self.len += 1;
+        (seq, idx)
+    }
+
+    /// The sequence number the next allocation will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The oldest in-flight entry.
+    pub fn head(&self) -> Option<&RobEntry> {
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.head].as_ref()
+        }
+    }
+
+    /// Retires the oldest entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn pop_head(&mut self) -> RobEntry {
+        assert!(self.len > 0, "commit from an empty ROB");
+        let entry = self.slots[self.head]
+            .take()
+            .expect("occupied slot within len");
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        entry
+    }
+
+    /// Squashes the youngest entry (precise-exception flush walks the
+    /// tail toward the head).
+    pub fn pop_tail(&mut self) -> Option<RobEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        let idx = (self.head + self.len - 1) % self.slots.len();
+        self.len -= 1;
+        Some(self.slots[idx].take().expect("occupied slot within len"))
+    }
+
+    /// Marks the entry in `slot` completed iff it still holds `seq` —
+    /// the writeback path. A flush that squashed the entry (and maybe
+    /// reused the slot for a refetched op) makes the writeback stale;
+    /// it is dropped and `false` returned.
+    pub fn complete_if_current(&mut self, slot: usize, seq: u64) -> bool {
+        match self.slots.get_mut(slot).and_then(Option::as_mut) {
+            Some(e) if e.seq == seq => {
+                e.completed = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Mutable program-order iteration, oldest first (the exception
+    /// latch path scans for the entry coupled to a faulting MCQ id —
+    /// rare enough that a walk beats carrying an id→slot map).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RobEntry> {
+        let (head, len, cap) = (self.head, self.len, self.slots.len());
+        let (tail_part, head_part) = self.slots.split_at_mut(head);
+        head_part
+            .iter_mut()
+            .chain(tail_part.iter_mut())
+            .filter_map(Option::as_mut)
+            .take(len.min(cap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(complete_at: u64) -> RobEntry {
+        RobEntry {
+            seq: 0,
+            op: Op::IntAlu,
+            complete_at,
+            completed: false,
+            faulted: false,
+            mcq_id: None,
+            is_load: false,
+            is_store: false,
+            dest: None,
+        }
+    }
+
+    #[test]
+    fn wraps_around_the_circular_storage() {
+        // A 4-entry ROB cycled through 100 allocations: the head/tail
+        // indices wrap many times while seq stays monotonic and
+        // program order is preserved.
+        let mut rob = ReorderBuffer::new(4);
+        let mut expected_head = 0u64;
+        for i in 0..100u64 {
+            let (seq, _) = rob.alloc(entry(i));
+            assert_eq!(seq, i);
+            if rob.is_full() {
+                let head = rob.pop_head();
+                assert_eq!(head.seq, expected_head, "FIFO order across wrap");
+                assert_eq!(head.complete_at, expected_head);
+                expected_head += 1;
+            }
+        }
+        while !rob.is_empty() {
+            assert_eq!(rob.pop_head().seq, expected_head);
+            expected_head += 1;
+        }
+        assert_eq!(expected_head, 100);
+        assert_eq!(rob.next_seq(), 100);
+    }
+
+    #[test]
+    fn stale_writebacks_after_a_squash_are_dropped() {
+        let mut rob = ReorderBuffer::new(3);
+        let (a, a_slot) = rob.alloc(entry(1));
+        let (b, b_slot) = rob.alloc(entry(2));
+        let (c, c_slot) = rob.alloc(entry(3));
+        assert!(rob.is_full());
+        // Squash the two youngest (flush path).
+        assert_eq!(rob.pop_tail().map(|e| e.seq), Some(c));
+        assert_eq!(rob.pop_tail().map(|e| e.seq), Some(b));
+        assert!(!rob.complete_if_current(b_slot, b), "squashed seq is stale");
+        assert!(!rob.complete_if_current(c_slot, c));
+        assert!(rob.complete_if_current(a_slot, a), "survivor completes");
+        // A refetched op reuses the slot under a fresh seq; the old
+        // seq still must not resolve.
+        let (b2, b2_slot) = rob.alloc(entry(4));
+        assert!(b2 > c, "sequence numbers are never reused");
+        assert_eq!(b2_slot, b_slot, "slot storage is reused");
+        assert!(!rob.complete_if_current(b_slot, b));
+        assert!(rob.complete_if_current(b2_slot, b2));
+        // Drain across the wrap point.
+        assert_eq!(rob.pop_head().seq, a);
+        assert_eq!(rob.pop_head().seq, b2);
+        assert!(rob.pop_tail().is_none());
+    }
+
+    #[test]
+    fn iter_mut_walks_oldest_first_across_wrap() {
+        let mut rob = ReorderBuffer::new(3);
+        rob.alloc(entry(0));
+        rob.alloc(entry(1));
+        rob.pop_head();
+        rob.alloc(entry(2));
+        rob.alloc(entry(3)); // wraps into slot 0
+        let seqs: Vec<u64> = rob.iter_mut().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+}

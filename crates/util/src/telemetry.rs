@@ -8,7 +8,7 @@
 //!
 //! - a fixed **taxonomy** of monotonic [`Counter`]s, high-watermark /
 //!   level [`Gauge`]s and power-of-two bucketed [`Hist`]ograms, each
-//!   with a stable wire name (the `aos-campaign-report/v4` counter
+//!   with a stable wire name (the `aos-campaign-report/v5` counter
 //!   keys);
 //! - a [`Telemetry`] **handle** threaded through construction — no
 //!   globals, no locks on the hot path. A disabled handle is a `None`
@@ -135,11 +135,27 @@ pub enum Counter {
     /// Corpus frames that failed their CRC / framing check and were
     /// quarantined with a typed error instead of replayed.
     CorpusCrcFailures,
+    /// Cycles the stage-structured core could not dispatch because the
+    /// reorder buffer was full.
+    SimStallRob,
+    /// Cycles the stage-structured core could not dispatch because the
+    /// load/store queue was full.
+    SimStallLsq,
+    /// Cycles the stage-structured core could not dispatch because the
+    /// memory check queue was full (MCU back-pressure, §V-B).
+    SimStallMcq,
+    /// Loads the LSQ replayed after a same-window older store resolved
+    /// to an overlapping address (store→load ordering speculation).
+    SimReplays,
+    /// Pipeline flushes: precise-exception squashes of everything
+    /// younger than a faulting op at commit (delayed retirement,
+    /// §V-A).
+    SimFlushes,
 }
 
 impl Counter {
     /// Number of counters in the taxonomy.
-    pub const COUNT: usize = 37;
+    pub const COUNT: usize = 42;
 
     /// Every counter, in cell (and wire) order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -180,6 +196,11 @@ impl Counter {
         Counter::CorpusBlocksWritten,
         Counter::CorpusBlocksRead,
         Counter::CorpusCrcFailures,
+        Counter::SimStallRob,
+        Counter::SimStallLsq,
+        Counter::SimStallMcq,
+        Counter::SimReplays,
+        Counter::SimFlushes,
     ];
 
     /// Stable wire names, in the same order as [`Counter::ALL`].
@@ -221,6 +242,11 @@ impl Counter {
         "corpus_blocks_written",
         "corpus_blocks_read",
         "corpus_crc_failures",
+        "sim_stall_rob",
+        "sim_stall_lsq",
+        "sim_stall_mcq",
+        "sim_replays",
+        "sim_flushes",
     ];
 
     /// The counter's stable wire name.

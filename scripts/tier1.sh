@@ -53,6 +53,15 @@ cargo run -q --release -p aos-cli -- corpus replay \
 cargo run -q --release -p aos-cli -- corpus verify "$corpus_file" >/dev/null
 rm -f "$corpus_file"
 
+echo "== tier-1: stage-core vs approximate model smoke =="
+# The stage-structured core is the default model; the legacy analytic
+# loop stays reachable for A/B runs. Both must finish a small benign
+# window cleanly (exit 0 = zero violations on every sweep point).
+cargo run -q --release -p aos-cli -- ablate \
+    --scale 0.002 --mcq 24,48 --bwb 64 >/dev/null
+cargo run -q --release -p aos-cli -- ablate \
+    --scale 0.002 --mcq 48 --bwb 64 --model approximate >/dev/null
+
 echo "== tier-1: batched pipeline smoke =="
 # The streaming bench asserts bit-identical RunStats and telemetry
 # across the materialized, per-op and batched pipeline shapes on every
@@ -71,7 +80,7 @@ cargo run -q --release -p aos-bench --bin streaming_bench -- \
 # The gate is advisory when clippy is not installed (offline image).
 if command -v cargo-clippy >/dev/null 2>&1; then
     echo "== tier-1: clippy unwrap + needless-collect + print-stdout + undocumented-unsafe gate (library crates) =="
-    for crate in aos-util aos-heap aos-mcu aos-hbt aos-isa aos-core aos-fault aos-lint aos-serve; do
+    for crate in aos-util aos-heap aos-mcu aos-hbt aos-isa aos-sim aos-core aos-fault aos-lint aos-serve; do
         cargo clippy -q -p "$crate" --no-deps -- \
             -D clippy::unwrap_used -D clippy::needless_collect \
             -D clippy::print_stdout \

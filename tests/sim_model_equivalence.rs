@@ -1,0 +1,106 @@
+//! The stage-structured core and the legacy analytic loop are two
+//! models of the same machine: whatever one detects, the other must
+//! detect. This suite pins that equivalence — benign runs stay silent
+//! under both models on all five systems, every pinned fault kind
+//! gets the same detected/missed verdict from both models, and both
+//! models retire every op of a benign trace. Timing may differ (that
+//! is the point of having two models); verdicts may not.
+
+use aos_core::experiment::{run, SystemUnderTest};
+use aos_fault::{plan_fault, FaultKind, FaultSpec};
+use aos_isa::SafetyConfig;
+use aos_ptrauth::PointerLayout;
+use aos_sim::{Machine, RunStats, SimModel};
+use aos_workloads::profile::by_name;
+use aos_workloads::TraceGenerator;
+
+const SCALE: f64 = 0.004;
+
+const MODELS: [SimModel; 2] = [SimModel::Stage, SimModel::Approximate];
+
+/// Benign equivalence on every system: zero violations under both
+/// models, and both models retire the identical number of ops (the
+/// whole trace — neither model is allowed to drop work on the floor).
+#[test]
+fn benign_verdicts_and_retirement_agree_on_all_five_systems() {
+    let profile = by_name("hmmer").unwrap();
+    for system in SafetyConfig::ALL {
+        let per_model: Vec<RunStats> = MODELS
+            .iter()
+            .map(|&model| {
+                run(
+                    profile,
+                    &SystemUnderTest::scaled(system, SCALE).with_model(model),
+                )
+            })
+            .collect();
+        let (stage, approx) = (&per_model[0], &per_model[1]);
+        assert_eq!(stage.violations, 0, "{system}: stage flagged a benign trace");
+        assert_eq!(
+            approx.violations, 0,
+            "{system}: approximate flagged a benign trace"
+        );
+        assert_eq!(
+            stage.retired_ops, approx.retired_ops,
+            "{system}: the models disagree on how many ops the trace holds"
+        );
+        assert_eq!(
+            stage.mix, approx.mix,
+            "{system}: committed-op mix must be model-independent"
+        );
+    }
+}
+
+/// Runs one seeded fault under `model` on `system` and returns the
+/// machine's violation count.
+fn faulted_violations(kind: FaultKind, system: SafetyConfig, model: SimModel) -> u64 {
+    let profile = by_name("hmmer").unwrap();
+    let sut = SystemUnderTest::scaled(system, SCALE).with_model(model);
+    let stream = || TraceGenerator::new(profile, SafetyConfig::Aos, SCALE);
+    let plan = plan_fault(stream(), PointerLayout::default(), FaultSpec { kind, seed: 1 })
+        .expect("fault plans against the instrumented trace");
+    Machine::new(sut.machine_config())
+        .run(plan.apply(stream()))
+        .violations
+}
+
+/// Fault-detection verdicts are model-independent: for every pinned
+/// fault kind, AOS detects under both models and the Baseline misses
+/// under both models. The stage core's delayed-retirement exception
+/// path and the analytic loop's event-time accounting must converge
+/// on the same answer.
+#[test]
+fn fault_verdicts_agree_between_models() {
+    for kind in FaultKind::ALL {
+        let stage = faulted_violations(kind, SafetyConfig::Aos, SimModel::Stage);
+        let approx = faulted_violations(kind, SafetyConfig::Aos, SimModel::Approximate);
+        assert!(stage > 0, "{kind}: stage core missed the fault");
+        assert!(approx > 0, "{kind}: approximate model missed the fault");
+        assert_eq!(
+            stage, approx,
+            "{kind}: the models disagree on the violation count"
+        );
+        for model in MODELS {
+            assert_eq!(
+                faulted_violations(kind, SafetyConfig::Baseline, model),
+                0,
+                "{kind}: baseline under {} has no checks to trip",
+                model.name()
+            );
+        }
+    }
+}
+
+/// The default model is the stage core — the refactor is the machine,
+/// not an opt-in mode — and the campaign's wire token round-trips.
+#[test]
+fn stage_is_the_default_model_and_tokens_round_trip() {
+    assert_eq!(SimModel::default(), SimModel::Stage);
+    assert_eq!(
+        SystemUnderTest::standard(SafetyConfig::Aos).model,
+        SimModel::Stage
+    );
+    for model in MODELS {
+        assert_eq!(SimModel::parse(model.name()), Some(model));
+    }
+}
