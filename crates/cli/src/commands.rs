@@ -96,6 +96,21 @@ USAGE:
                                             zero false positives and the
                                             static lint cross-check is
                                             consistent
+  aos fuzz [--workload <w>] [--scale <f>] [--seed <n>] [--budget <n>]
+           [--max-chain <n>] [--corpus-out <path>] [--out <path>]
+           [--json true] [--telemetry true] [--replay-corpus <path>]
+                                            adversarial scenario engine:
+                                            generate seeded multi-step
+                                            attack chains (base injectors +
+                                            composite primitives), replay
+                                            each through both the static
+                                            linter and the dynamic oracle
+                                            on all five systems, and flag
+                                            any verdict outside the pinned
+                                            static/dynamic split; findings
+                                            exit 1 and bank to --corpus-out;
+                                            --replay-corpus re-checks a
+                                            banked corpus's verdicts instead
   aos lint [--workload <w>] [--system <s>] [--scale <f>]
            [--fault <kind>] [--seed <n>] [--json true]
            [--strict false] [--telemetry true]
@@ -705,12 +720,147 @@ pub fn faults(args: &[String]) -> Result<(), CliError> {
     if strict
         && (!outcome.matrix.is_sound()
             || outcome.report.failed() > 0
-            || !outcome.lint.is_consistent())
+            || !outcome.lint.is_consistent()
+            || !outcome.lint.matches_pinned_split())
     {
         return Err(CliError::Findings(format!(
             "strict fault gate failed: {} {}",
             outcome.matrix.to_json_value(),
             outcome.lint.to_json_value()
+        )));
+    }
+    Ok(())
+}
+
+/// `aos fuzz [--workload w] [--scale f] [--seed n] [--budget n]
+/// [--max-chain n] [--corpus-out path] [--out path] [--json true]
+/// [--telemetry true] [--replay-corpus path]`: the adversarial
+/// scenario engine — seeded multi-step attack chains differentially
+/// replayed through the static linter and the dynamic machine oracle
+/// on all five systems.
+///
+/// Exit contract: 0 when every scenario lands exactly on its pinned
+/// static/dynamic expectation (or a replayed corpus is verdict
+/// stable), 1 on findings/instability, 2 on unusable invocations.
+pub fn fuzz(args: &[String]) -> Result<(), CliError> {
+    let parsed = Parsed::parse(args)?;
+    let telemetry = if bool_flag(&parsed, "telemetry") {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+
+    if let Some(path) = parsed.flag("replay-corpus") {
+        let report = aos_fuzz::replay_corpus(path, &telemetry)
+            .map_err(|e| CliError::Usage(e.to_string()))?;
+        println!("== aos fuzz: replaying banked corpus {path} ==");
+        for check in &report.checks {
+            println!(
+                "{:<40} {:>8} ops  {}",
+                check.name,
+                check.ops,
+                if check.mismatches.is_empty() {
+                    "stable".to_string()
+                } else {
+                    check.mismatches.join("; ")
+                }
+            );
+        }
+        if bool_flag(&parsed, "telemetry") {
+            println!();
+            print!("{}", telemetry.snapshot().to_table());
+        }
+        if !report.is_stable() {
+            return Err(CliError::Findings(format!(
+                "corpus replay unstable: {} mismatched verdict(s) across {} entries",
+                report.mismatches(),
+                report.checks.len()
+            )));
+        }
+        return Ok(());
+    }
+
+    let workload = find_workload(parsed.flag("workload").unwrap_or("hmmer"))?;
+    // Each scenario replays the trace once per system plus a lint
+    // pass: default to the same small window the fault sweeps use.
+    let scale = scale_or(&parsed, 0.004).map_err(|e| e.to_string())?;
+    let budget: usize = parsed.flag_or("budget", 8usize)?;
+    if budget == 0 {
+        return Err("--budget must be at least 1".to_string().into());
+    }
+    let max_chain: usize = parsed.flag_or("max-chain", 3usize)?;
+    if max_chain == 0 {
+        return Err("--max-chain must be at least 1".to_string().into());
+    }
+    let config = aos_fuzz::FuzzConfig {
+        workload: workload.name.to_string(),
+        scale,
+        seed: parsed.flag_or("seed", 1u64)?,
+        budget,
+        max_chain,
+        corpus_out: parsed.flag("corpus-out").map(std::path::PathBuf::from),
+    };
+    println!(
+        "fuzz: {} at scale {scale}, seed {}, {budget} scenario(s), chains up to {max_chain} step(s)",
+        workload.name, config.seed
+    );
+    let report = aos_fuzz::run_fuzz(&config, &telemetry).map_err(|e| e.to_string())?;
+
+    if bool_flag(&parsed, "json") {
+        print!("{}", report.to_json());
+    } else {
+        println!(
+            "{:<34} {:<30} {:>6} {:>8} {:>9}",
+            "scenario", "steps", "lint", "aos", "findings"
+        );
+        for o in &report.outcomes {
+            let aos_delta = o
+                .systems
+                .iter()
+                .find(|v| v.system == SafetyConfig::Aos)
+                .map(|v| v.delta())
+                .unwrap_or(0);
+            println!(
+                "{:<34} {:<30} {:>6} {:>8} {:>9}",
+                o.scenario,
+                o.steps.join("+"),
+                o.lint_diagnostics,
+                format!("+{aos_delta}"),
+                o.findings.len()
+            );
+        }
+        for o in &report.outcomes {
+            for f in &o.findings {
+                println!("finding: {f}");
+            }
+        }
+        for (id, error) in &report.planning_failures {
+            println!("skipped {id}: {error}");
+        }
+        println!(
+            "\n{} scenario(s), {} finding(s), digest {:016x}",
+            report.outcomes.len(),
+            report.findings(),
+            report.digest()
+        );
+        if let Some(corpus) = &report.corpus {
+            println!("banked {} finding stream(s) to {corpus}", report.banked);
+        }
+        if bool_flag(&parsed, "telemetry") {
+            println!();
+            print!("{}", telemetry.snapshot().to_table());
+        }
+    }
+    if let Some(out) = parsed.flag("out") {
+        std::fs::write(out, report.to_json())
+            .map_err(|e| format!("cannot write '{out}': {e}"))?;
+        println!("report written to {out}");
+    }
+    if report.findings() > 0 {
+        return Err(CliError::Findings(format!(
+            "fuzz gate failed: {} finding(s) across {} scenario(s)",
+            report.findings(),
+            report.outcomes.len()
         )));
     }
     Ok(())

@@ -8,6 +8,7 @@
 //! aos campaign [options]               parallel workload x system matrix
 //! aos ablate [options]                 MCQ depth x BWB size geometry sweep
 //! aos faults [options]                 seeded fault-injection sweep
+//! aos fuzz [options]                   adversarial differential fuzzing
 //! aos lint [options]                   static protocol verification
 //! aos table <1|2|3|4> [--scale f]      reproduce a paper table
 //! aos fig <11|14|15|16|17|18> [--scale f]   reproduce a paper figure
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
         "campaign" => commands::campaign(rest).map_err(CliError::from),
         "ablate" => commands::ablate(rest),
         "faults" => commands::faults(rest),
+        "fuzz" => commands::fuzz(rest),
         "lint" => commands::lint(rest),
         "table" => commands::table(rest).map_err(CliError::from),
         "fig" => commands::fig(rest).map_err(CliError::from),

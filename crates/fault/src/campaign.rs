@@ -89,6 +89,37 @@ pub enum LintClass {
     Mixed,
 }
 
+impl LintClass {
+    /// The *pinned* static/dynamic split of the six base fault kinds
+    /// — the design fact the differential harness and the strict gate
+    /// defend. Spatial faults splice protocol-legal accesses (only
+    /// the machine's bounds check can see an address is wrong);
+    /// temporal and forgery faults break the Fig. 7 lifecycle itself,
+    /// which the linter proves without running a machine.
+    pub fn expected_for(kind: FaultKind) -> LintClass {
+        match kind {
+            FaultKind::OverflowWrite | FaultKind::UnderflowWrite => LintClass::DynamicOnly,
+            FaultKind::UseAfterFree
+            | FaultKind::DoubleFree
+            | FaultKind::PacTamper
+            | FaultKind::AhcForge => LintClass::StaticallyDetectable,
+        }
+    }
+}
+
+/// The exact lint rules each base fault kind is pinned to fire (in
+/// taxonomy order; empty for the dynamic-only kinds). The companion
+/// of [`LintClass::expected_for`].
+pub fn expected_lint_rules(kind: FaultKind) -> &'static [Rule] {
+    match kind {
+        FaultKind::OverflowWrite | FaultKind::UnderflowWrite => &[],
+        FaultKind::UseAfterFree => &[Rule::AccessAfterClear],
+        FaultKind::DoubleFree => &[Rule::DoubleBndclr, Rule::UnbalancedAtEnd],
+        FaultKind::PacTamper => &[Rule::UnknownPac],
+        FaultKind::AhcForge => &[Rule::UnknownPac],
+    }
+}
+
 impl std::fmt::Display for LintClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
@@ -156,6 +187,25 @@ impl LintCrossCheck {
         self.kinds
             .iter()
             .filter(|k| k.classification() == LintClass::StaticallyDetectable)
+    }
+
+    /// `true` when every swept kind's observed classification *and*
+    /// fired rule set equal the pinned split
+    /// ([`LintClass::expected_for`] / [`expected_lint_rules`]).
+    /// Stronger than [`LintCrossCheck::is_consistent`]: a kind that
+    /// silently drifted from `static` to `dynamic-only` (or started
+    /// firing a different rule) is still self-consistent, but it is
+    /// no longer the system the paper describes — the strict gate
+    /// fails it instead of annotating it.
+    pub fn matches_pinned_split(&self) -> bool {
+        self.clean_diagnostics == 0
+            && self.kinds.iter().all(|k| {
+                let rules: Vec<&'static str> = expected_lint_rules(k.kind)
+                    .iter()
+                    .map(|r| r.name())
+                    .collect();
+                k.classification() == LintClass::expected_for(k.kind) && k.rules == rules
+            })
     }
 
     /// A single-line JSON value for the report annotation.

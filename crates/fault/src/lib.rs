@@ -36,8 +36,8 @@ pub mod inject;
 pub mod oracle;
 
 pub use campaign::{
-    run_fault_campaign, FaultCampaignConfig, FaultCampaignOutcome, LintClass, LintCrossCheck,
-    LintKindCheck,
+    expected_lint_rules, run_fault_campaign, FaultCampaignConfig, FaultCampaignOutcome, LintClass,
+    LintCrossCheck, LintKindCheck,
 };
 pub use inject::{
     inject, plan_fault, plan_fault_batched, FaultAction, FaultKind, FaultPlan, FaultSpec,

@@ -1,0 +1,378 @@
+//! The differential harness: replays one planned scenario through
+//! both oracles — `aos-lint` (static) and the machine-model fault
+//! oracle (dynamic) — on all five systems, and flags any verdict
+//! that falls outside the scenario's pinned expectation split.
+//!
+//! The harness never decides *which* oracle is right. A
+//! [`Finding`] means the static verdict, the dynamic verdict, and
+//! the pinned expectation do not triangulate — a bug in the linter,
+//! in the machine model, or in the primitive's own pinning, and in
+//! every case worth banking as a regression input.
+
+use aos_core::experiment::SystemUnderTest;
+use aos_isa::SafetyConfig;
+use aos_lint::{lint_stream, Rule};
+use aos_ptrauth::PointerLayout;
+use aos_sim::Machine;
+use aos_workloads::{TraceGenerator, WorkloadProfile};
+
+use crate::scenario::ScenarioPlan;
+
+/// Why a scenario was flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// The linter's verdict contradicts the pinned static class
+    /// (flagged a pinned dynamic-only chain, or fired rules outside
+    /// a fully pinned chain's expected set).
+    StaticDisagreement,
+    /// A pinned rule did not fire on a statically detectable chain.
+    MissingRule,
+    /// An AOS-checked machine executed the faulted stream without an
+    /// extra violation.
+    DynamicMiss,
+    /// An unprotected machine raised extra violations — it has no
+    /// mechanism that should see these faults.
+    UnexpectedDetection,
+    /// An AOS-checked machine raised a different number of extra
+    /// violations than the chain pins exactly (e.g. a probe that
+    /// must hit mid-migration was charged as a miss).
+    DeltaMismatch,
+    /// The *clean* trace raised violations on some system.
+    FalsePositive,
+    /// The clean trace did not lint clean, so static expectations
+    /// cannot be trusted for this workload.
+    DirtyCleanLint,
+}
+
+impl FindingKind {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FindingKind::StaticDisagreement => "static-disagreement",
+            FindingKind::MissingRule => "missing-rule",
+            FindingKind::DynamicMiss => "dynamic-miss",
+            FindingKind::UnexpectedDetection => "unexpected-detection",
+            FindingKind::DeltaMismatch => "delta-mismatch",
+            FindingKind::FalsePositive => "false-positive",
+            FindingKind::DirtyCleanLint => "dirty-clean-lint",
+        }
+    }
+}
+
+impl std::fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One oracle disagreement.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The scenario that produced it ([`crate::ScenarioSpec::id`]).
+    pub scenario: String,
+    /// The system the disagreement occurred on (`None` for static
+    /// findings, which are system-independent).
+    pub system: Option<SafetyConfig>,
+    /// The disagreement class.
+    pub kind: FindingKind,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.system {
+            Some(system) => write!(
+                f,
+                "[{}] {} on {system}: {}",
+                self.scenario, self.kind, self.detail
+            ),
+            None => write!(f, "[{}] {}: {}", self.scenario, self.kind, self.detail),
+        }
+    }
+}
+
+/// The dynamic oracle's measurement on one system.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemVerdict {
+    /// The system the faulted stream ran on.
+    pub system: SafetyConfig,
+    /// Violations the clean trace raised on this system.
+    pub clean_violations: u64,
+    /// Violations the faulted stream raised on this system.
+    pub faulty_violations: u64,
+}
+
+impl SystemVerdict {
+    /// Extra violations the scenario added.
+    pub fn delta(&self) -> u64 {
+        self.faulty_violations.saturating_sub(self.clean_violations)
+    }
+}
+
+/// Clean-trace measurements shared by every scenario of a campaign:
+/// one machine run per system plus one lint pass, all against the
+/// unmodified generated trace. Measuring this once per `(workload,
+/// scale)` instead of once per trial keeps a budget-`B` campaign at
+/// `B × (5 machine runs + 1 lint)` instead of twice that.
+#[derive(Debug, Clone)]
+pub struct CleanBaseline {
+    /// Clean violations per system, in [`SafetyConfig::ALL`] order.
+    pub violations: Vec<(SafetyConfig, u64)>,
+    /// Diagnostics the clean trace raises in the linter (expected 0;
+    /// anything else poisons static expectations).
+    pub lint_diagnostics: u64,
+}
+
+impl CleanBaseline {
+    /// Measures the clean trace for `(profile, scale)` on all five
+    /// systems.
+    pub fn measure(profile: &WorkloadProfile, scale: f64) -> CleanBaseline {
+        let stream = || TraceGenerator::new(profile, SafetyConfig::Aos, scale);
+        let violations = SafetyConfig::ALL
+            .into_iter()
+            .map(|system| {
+                let sut = SystemUnderTest::scaled(system, scale);
+                let result = Machine::new(sut.machine_config()).run(stream());
+                (system, result.violations)
+            })
+            .collect();
+        let lint_diagnostics =
+            lint_stream(stream(), PointerLayout::default()).total_diagnostics();
+        CleanBaseline {
+            violations,
+            lint_diagnostics,
+        }
+    }
+
+    fn clean_violations(&self, system: SafetyConfig) -> u64 {
+        self.violations
+            .iter()
+            .find(|(s, _)| *s == system)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+}
+
+/// Everything the harness measured for one scenario.
+#[derive(Debug, Clone)]
+pub struct DifferentialOutcome {
+    /// The scenario id.
+    pub scenario: String,
+    /// Step names in chain order (dropped steps excluded).
+    pub steps: Vec<&'static str>,
+    /// Total diagnostics the linter raised on the faulted stream.
+    pub lint_diagnostics: u64,
+    /// The rules that fired, in taxonomy order.
+    pub lint_rules: Vec<Rule>,
+    /// Per-system dynamic measurements, in [`SafetyConfig::ALL`]
+    /// order.
+    pub systems: Vec<SystemVerdict>,
+    /// Oracle disagreements (empty when the scenario behaved exactly
+    /// as pinned).
+    pub findings: Vec<Finding>,
+}
+
+impl DifferentialOutcome {
+    /// Whether this scenario produced at least one finding.
+    pub fn is_finding(&self) -> bool {
+        !self.findings.is_empty()
+    }
+}
+
+/// Replays `plan` through both oracles on all five systems and
+/// classifies every disagreement with its pinned expectations.
+pub fn run_scenario(
+    profile: &WorkloadProfile,
+    scale: f64,
+    plan: &ScenarioPlan,
+    baseline: &CleanBaseline,
+) -> DifferentialOutcome {
+    let scenario = plan.spec.id();
+    let stream = || TraceGenerator::new(profile, SafetyConfig::Aos, scale);
+    let layout = PointerLayout::default();
+    let mut findings = Vec::new();
+
+    if baseline.lint_diagnostics > 0 {
+        findings.push(Finding {
+            scenario: scenario.clone(),
+            system: None,
+            kind: FindingKind::DirtyCleanLint,
+            detail: format!(
+                "clean trace raised {} lint diagnostics",
+                baseline.lint_diagnostics
+            ),
+        });
+    }
+
+    // Static oracle: one lint pass over the faulted stream.
+    let report = lint_stream(plan.apply(stream()), layout);
+    let lint_rules = report.rules_fired();
+    let all_pinned = plan.steps.iter().all(|s| s.static_pinned);
+    match plan.expected_static() {
+        Some(true) => {
+            let expected = plan.expected_rules();
+            for rule in &expected {
+                if report.count(*rule) == 0 {
+                    findings.push(Finding {
+                        scenario: scenario.clone(),
+                        system: None,
+                        kind: FindingKind::MissingRule,
+                        detail: format!("pinned rule '{}' did not fire", rule.name()),
+                    });
+                }
+            }
+            if all_pinned && lint_rules != expected {
+                let fired: Vec<&str> = lint_rules.iter().map(|r| r.name()).collect();
+                let pinned: Vec<&str> = expected.iter().map(|r| r.name()).collect();
+                findings.push(Finding {
+                    scenario: scenario.clone(),
+                    system: None,
+                    kind: FindingKind::StaticDisagreement,
+                    detail: format!("fired {fired:?}, pinned exactly {pinned:?}"),
+                });
+            }
+        }
+        // Every step is pinned dynamic-only: the faulted stream must
+        // lint exactly as clean as the trace itself.
+        Some(false) if report.total_diagnostics() != baseline.lint_diagnostics => {
+            let fired: Vec<&str> = lint_rules.iter().map(|r| r.name()).collect();
+            findings.push(Finding {
+                scenario: scenario.clone(),
+                system: None,
+                kind: FindingKind::StaticDisagreement,
+                detail: format!(
+                    "dynamic-only chain raised {} diagnostics ({fired:?})",
+                    report.total_diagnostics()
+                ),
+            });
+        }
+        Some(false) => {}
+        None => {} // a collision unpinned the static side; nothing to hold it to
+    }
+
+    // Dynamic oracle: the faulted stream on every system.
+    let exact_delta = plan.expected_exact_delta();
+    let expect_detection = !plan.steps.is_empty();
+    let mut systems = Vec::with_capacity(SafetyConfig::ALL.len());
+    for system in SafetyConfig::ALL {
+        let sut = SystemUnderTest::scaled(system, scale);
+        let result = Machine::new(sut.machine_config()).run(plan.apply(stream()));
+        let verdict = SystemVerdict {
+            system,
+            clean_violations: baseline.clean_violations(system),
+            faulty_violations: result.violations,
+        };
+        if verdict.clean_violations > 0 {
+            findings.push(Finding {
+                scenario: scenario.clone(),
+                system: Some(system),
+                kind: FindingKind::FalsePositive,
+                detail: format!(
+                    "clean trace raised {} violations",
+                    verdict.clean_violations
+                ),
+            });
+        }
+        let delta = verdict.delta();
+        if system.uses_aos() {
+            if expect_detection && delta == 0 {
+                findings.push(Finding {
+                    scenario: scenario.clone(),
+                    system: Some(system),
+                    kind: FindingKind::DynamicMiss,
+                    detail: "faulted stream added no violations".to_string(),
+                });
+            } else if let Some(pinned) = exact_delta {
+                if delta != pinned {
+                    findings.push(Finding {
+                        scenario: scenario.clone(),
+                        system: Some(system),
+                        kind: FindingKind::DeltaMismatch,
+                        detail: format!("added {delta} violations, pinned exactly {pinned}"),
+                    });
+                }
+            }
+        } else if delta != 0 {
+            findings.push(Finding {
+                scenario: scenario.clone(),
+                system: Some(system),
+                kind: FindingKind::UnexpectedDetection,
+                detail: format!("unprotected machine added {delta} violations"),
+            });
+        }
+        systems.push(verdict);
+    }
+
+    DifferentialOutcome {
+        scenario,
+        steps: plan.steps.iter().map(|s| s.kind.name()).collect(),
+        lint_diagnostics: report.total_diagnostics(),
+        lint_rules,
+        systems,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::CompositeKind;
+    use crate::scenario::{plan_scenario, ScenarioSpec, StepKind};
+    use aos_workloads::profile::by_name;
+
+    const SCALE: f64 = 0.004;
+
+    #[test]
+    fn every_composite_chain_is_clean_of_findings() {
+        let profile = by_name("mcf").expect("mcf profile exists");
+        let baseline = CleanBaseline::measure(profile, SCALE);
+        assert_eq!(baseline.lint_diagnostics, 0, "clean trace must lint clean");
+        let trace = || TraceGenerator::new(profile, SafetyConfig::Aos, SCALE);
+        for kind in CompositeKind::ALL {
+            let spec = ScenarioSpec {
+                seed: 11,
+                steps: vec![StepKind::Composite(kind)],
+            };
+            let plan = plan_scenario(&spec, trace, PointerLayout::default()).expect("plan");
+            let outcome = run_scenario(profile, SCALE, &plan, &baseline);
+            assert!(
+                !outcome.is_finding(),
+                "{kind}: unexpected findings {:?}",
+                outcome.findings
+            );
+            let aos = outcome
+                .systems
+                .iter()
+                .find(|v| v.system == SafetyConfig::Aos)
+                .expect("aos verdict");
+            assert_eq!(
+                Some(aos.delta()),
+                kind.expectation().exact_delta,
+                "{kind} delta"
+            );
+        }
+    }
+
+    #[test]
+    fn a_deliberately_mispinned_chain_is_flagged() {
+        // Sanity-check the harness itself: run a statically
+        // detectable chain but lie about the expected class by
+        // linting a *clean* stream against the plan's expectations.
+        let profile = by_name("mcf").expect("mcf profile exists");
+        let baseline = CleanBaseline::measure(profile, SCALE);
+        let trace = || TraceGenerator::new(profile, SafetyConfig::Aos, SCALE);
+        let spec = ScenarioSpec {
+            seed: 5,
+            steps: vec![StepKind::Composite(CompositeKind::DanglingResign)],
+        };
+        let mut plan = plan_scenario(&spec, trace, PointerLayout::default()).expect("plan");
+        // Drop the edits: the "faulted" stream is now the clean trace,
+        // so the pinned rule cannot fire and AOS cannot detect.
+        plan.edits.clear();
+        let outcome = run_scenario(profile, SCALE, &plan, &baseline);
+        let kinds: Vec<FindingKind> = outcome.findings.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&FindingKind::MissingRule), "{kinds:?}");
+        assert!(kinds.contains(&FindingKind::DynamicMiss), "{kinds:?}");
+    }
+}

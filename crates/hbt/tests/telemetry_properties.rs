@@ -16,6 +16,7 @@
 use proptest::prelude::*;
 
 use aos_hbt::{CompressedBounds, HashedBoundsTable, HbtConfig};
+use aos_isa::strategy::action_script;
 use aos_util::{Counter, Telemetry, TelemetrySnapshot};
 
 /// The smallest legal table (11-bit PACs, 2048 rows) keeps each case
@@ -34,11 +35,12 @@ fn table(telemetry: &Telemetry) -> HashedBoundsTable {
 }
 
 /// One scripted table operation: `(kind, pac, arg)` decodes to a
-/// store / clear / check / resize-and-partially-migrate.
+/// store / clear / check / resize-and-partially-migrate — the shared
+/// `aos_isa::strategy` action-script shape.
 type ScriptOp = (u8, u64, u64);
 
 fn script() -> impl Strategy<Value = Vec<ScriptOp>> {
-    proptest::collection::vec((0u8..4, 0u64..ROWS, 0u64..48), 1..160)
+    action_script(0u8..4, 0u64..ROWS, 0u64..48, 1..160)
 }
 
 /// Replays a script against a fresh telemetry-enabled table and

@@ -28,6 +28,8 @@ pub mod corpus;
 pub mod expand;
 mod mix;
 mod op;
+#[cfg(feature = "proptest-support")]
+pub mod strategy;
 pub mod stream;
 pub mod watchdog;
 

@@ -10,6 +10,10 @@
 //!
 //! - [`InsertAt`] / [`ReplaceAt`] — positional single-op splices
 //!   (the streaming form of the fault injectors' trace rewrites);
+//! - [`SpliceMany`] — the multi-edit generalization used by the
+//!   adversarial scenario engine: any number of positional
+//!   insert/replace edits applied in one pass, buffering only the
+//!   un-emitted edit ops;
 //! - [`Lookahead`] — a bounded lookahead window over a stream, used
 //!   by the use-after-free planner that must prove no same-PAC
 //!   reallocation lands inside the ROB-sized retirement window;
@@ -321,6 +325,19 @@ pub trait OpStream: Iterator<Item = Op> {
             op: Some(op),
             index: 0,
         }
+    }
+
+    /// Applies a whole set of positional [`Splice`] edits in one
+    /// streaming pass — the multi-edit generalization of
+    /// [`OpStream::insert_at`] / [`OpStream::replace_at`] used by the
+    /// adversarial scenario engine to compose attack chains. Edit
+    /// sites are original-stream indices; see [`Splice`] for the
+    /// exact per-site semantics.
+    fn splice_many(self, edits: Vec<Splice>) -> SpliceMany<Self>
+    where
+        Self: Sized,
+    {
+        SpliceMany::new(self, edits)
     }
 
     /// Counts the ops that flow through, transparently.
@@ -656,6 +673,189 @@ impl<I: BatchSource> BatchSource for ReplaceAt<I> {
         }
         self.index += n;
         n
+    }
+
+    fn batch_native(&self) -> bool {
+        self.inner.batch_native()
+    }
+}
+
+/// One positional edit for [`SpliceMany`], addressed in *original*
+/// stream indices (the coordinate space the fault planners report
+/// their sites in, unaffected by earlier edits in the same set).
+///
+/// An insert edit emits `ops` immediately before the original op at
+/// `at` — the ops are *yielded at* index `at`, exactly like
+/// [`OpStream::insert_at`]. A replace edit emits `ops` *instead of*
+/// the original op at `at` (an empty `ops` deletes it). Edits whose
+/// `at` lies past the end of the stream append their ops in edit
+/// order when they insert, and are dropped when they replace —
+/// mirroring the single-op adapters' end-of-stream behavior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Splice {
+    /// Original-stream index the edit targets.
+    pub at: usize,
+    /// `true` to substitute for the op at `at`, `false` to insert
+    /// before it.
+    pub replace: bool,
+    /// The ops to emit at the edit site.
+    pub ops: Vec<Op>,
+}
+
+impl Splice {
+    /// An insert edit: `ops` are yielded at `at`, the original op (and
+    /// everything after it) shifts later.
+    pub fn insert(at: usize, ops: Vec<Op>) -> Self {
+        Splice {
+            at,
+            replace: false,
+            ops,
+        }
+    }
+
+    /// A replace edit: `ops` substitute for the original op at `at`.
+    pub fn replace(at: usize, ops: Vec<Op>) -> Self {
+        Splice {
+            at,
+            replace: true,
+            ops,
+        }
+    }
+}
+
+/// Applies an arbitrary set of positional [`Splice`] edits in one
+/// streaming pass. See [`OpStream::splice_many`].
+///
+/// Edits are applied in ascending `at` order (ties keep construction
+/// order, so two edits at one site compose deterministically: each
+/// edit's ops queue in turn, and the original op survives only if no
+/// edit at that site replaces it). Buffered state is bounded by the
+/// total op count of the not-yet-emitted edits — `O(edits)`, never
+/// `O(trace)`.
+#[derive(Debug, Clone)]
+pub struct SpliceMany<I> {
+    inner: I,
+    edits: Vec<Splice>,
+    next_edit: usize,
+    pending: VecDeque<Op>,
+    index: usize,
+    edit_ops_total: usize,
+}
+
+impl<I> SpliceMany<I> {
+    /// Wraps `inner` with `edits`, sorting them by site (stable, so
+    /// same-site edits keep their given order).
+    pub fn new(inner: I, mut edits: Vec<Splice>) -> Self {
+        edits.sort_by_key(|e| e.at);
+        let edit_ops_total: usize = edits.iter().map(|e| e.ops.len()).sum();
+        SpliceMany {
+            inner,
+            edits,
+            next_edit: 0,
+            pending: VecDeque::new(),
+            index: 0,
+            edit_ops_total,
+        }
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &I {
+        &self.inner
+    }
+
+    /// Queues every edit targeting the current original index; returns
+    /// whether one of them replaces the original op.
+    fn take_edits_here(&mut self) -> bool {
+        let mut replaced = false;
+        while let Some(edit) = self.edits.get(self.next_edit) {
+            if edit.at != self.index {
+                break;
+            }
+            replaced |= edit.replace;
+            self.pending.extend(edit.ops.iter().copied());
+            self.next_edit += 1;
+        }
+        replaced
+    }
+
+    /// Queues the tail edits once the stream has ended: inserts
+    /// append their ops, replaces have no target and are dropped.
+    fn take_tail_edits(&mut self) {
+        while let Some(edit) = self.edits.get(self.next_edit) {
+            if !edit.replace {
+                self.pending.extend(edit.ops.iter().copied());
+            }
+            self.next_edit += 1;
+        }
+    }
+}
+
+impl<I: Iterator<Item = Op>> Iterator for SpliceMany<I> {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        loop {
+            if let Some(op) = self.pending.pop_front() {
+                return Some(op);
+            }
+            let replaced = self.take_edits_here();
+            match self.inner.next() {
+                Some(op) => {
+                    self.index += 1;
+                    if !replaced {
+                        self.pending.push_back(op);
+                    }
+                    // An empty-ops replace deleted the op: loop on.
+                }
+                None => {
+                    self.take_tail_edits();
+                    if self.pending.is_empty() {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<I: BufferedOps> BufferedOps for SpliceMany<I> {
+    fn peak_buffered_ops(&self) -> usize {
+        // Upper bound: every edit op is buffered until emitted.
+        self.inner.peak_buffered_ops() + self.edit_ops_total
+    }
+}
+
+impl<I: Iterator<Item = Op> + BatchSource> BatchSource for SpliceMany<I> {
+    fn refill_batch(&mut self, batch: &mut OpBatch) -> usize {
+        // Fast path: no queued ops and no edit can land inside this
+        // refill window (the inner source can add at most `space`
+        // ops), so the whole refill is a pass-through.
+        let space = batch.capacity().saturating_sub(batch.len());
+        let clear_of_edits = self.next_edit == self.edits.len()
+            || self.edits[self.next_edit].at >= self.index + space;
+        if self.pending.is_empty() && clear_of_edits {
+            let n = self.inner.refill_batch(batch);
+            self.index += n;
+            // n == 0 with edits still pending means the stream ended
+            // short of a splice site: fall through so the per-op path
+            // runs the end-of-stream append rule.
+            if n > 0 || self.next_edit == self.edits.len() {
+                return n;
+            }
+        }
+        // Near an edit site (or at end-of-stream with tail edits):
+        // refill per op so all splice bookkeeping stays in `next`.
+        let mut added = 0;
+        while !batch.is_full() {
+            match self.next() {
+                Some(op) => {
+                    batch.push(op);
+                    added += 1;
+                }
+                None => break,
+            }
+        }
+        added
     }
 
     fn batch_native(&self) -> bool {
@@ -1075,6 +1275,128 @@ mod tests {
                 assert_eq!(batched, per_op, "at {at} cap {cap}");
             }
         }
+    }
+
+    /// Reference semantics for [`SpliceMany`]: a materialized rewrite
+    /// over original indices, inserts before / replaces instead of the
+    /// op at each site, insert tails appended, replace tails dropped.
+    fn splice_reference(base: &[Op], edits: &[Splice]) -> Vec<Op> {
+        let mut sorted: Vec<&Splice> = edits.iter().collect();
+        sorted.sort_by_key(|e| e.at);
+        let mut out = Vec::new();
+        let mut cursor = 0;
+        for (i, &op) in base.iter().enumerate() {
+            let mut replaced = false;
+            while cursor < sorted.len() && sorted[cursor].at == i {
+                replaced |= sorted[cursor].replace;
+                out.extend(sorted[cursor].ops.iter().copied());
+                cursor += 1;
+            }
+            if !replaced {
+                out.push(op);
+            }
+        }
+        for edit in &sorted[cursor..] {
+            if !edit.replace {
+                out.extend(edit.ops.iter().copied());
+            }
+        }
+        out
+    }
+
+    fn splice_cases(len: usize) -> Vec<Vec<Splice>> {
+        vec![
+            // No edits: pass-through.
+            vec![],
+            // One insert at the front, one replace in the middle.
+            vec![
+                Splice::insert(0, vec![Op::FpAlu, Op::IntMul]),
+                Splice::replace(len / 2, vec![Op::PacCrypto]),
+            ],
+            // Insert and replace stacked on the same site (insert ops
+            // come first, the original op is consumed by the replace).
+            vec![
+                Splice::insert(2, vec![Op::FpAlu]),
+                Splice::replace(2, vec![Op::IntMul, Op::IntMul]),
+            ],
+            // Empty-ops replace = delete; plus a tail insert past the
+            // end and a tail replace that must be dropped.
+            vec![
+                Splice::replace(1, vec![]),
+                Splice::insert(len + 10, vec![Op::Xpacm]),
+                Splice::replace(len + 11, vec![Op::FpAlu]),
+            ],
+            // Dense edits on consecutive sites.
+            vec![
+                Splice::insert(3, vec![Op::FpAlu]),
+                Splice::insert(4, vec![Op::IntMul]),
+                Splice::replace(5, vec![Op::PacCrypto]),
+                Splice::insert(4, vec![Op::Xpacm]),
+            ],
+        ]
+    }
+
+    #[test]
+    fn splice_many_matches_the_reference_rewrite() {
+        let base = every_op_variant();
+        for edits in splice_cases(base.len()) {
+            let expected = splice_reference(&base, &edits);
+            let streamed: Vec<Op> = base.iter().copied().splice_many(edits.clone()).collect();
+            assert_eq!(streamed, expected, "edits {edits:?}");
+        }
+    }
+
+    #[test]
+    fn splice_many_batched_matches_per_op() {
+        let base = every_op_variant();
+        for edits in splice_cases(base.len()) {
+            let expected = splice_reference(&base, &edits);
+            for cap in [2, 3, 5, 64] {
+                let batched: Vec<Op> = Batched::new(
+                    SpliceMany::new(PerOp(base.iter().copied()), edits.clone()),
+                    cap,
+                )
+                .collect();
+                assert_eq!(batched, expected, "edits {edits:?} cap {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn splice_many_agrees_with_the_single_op_adapters() {
+        let base = every_op_variant();
+        for at in [0, 3, base.len() - 1, base.len() + 2] {
+            let via_insert: Vec<Op> = base.iter().copied().insert_at(at, Op::FpAlu).collect();
+            let via_many: Vec<Op> = base
+                .iter()
+                .copied()
+                .splice_many(vec![Splice::insert(at, vec![Op::FpAlu])])
+                .collect();
+            assert_eq!(via_many, via_insert, "insert at {at}");
+            let via_replace: Vec<Op> = base.iter().copied().replace_at(at, Op::IntMul).collect();
+            let via_many: Vec<Op> = base
+                .iter()
+                .copied()
+                .splice_many(vec![Splice::replace(at, vec![Op::IntMul])])
+                .collect();
+            assert_eq!(via_many, via_replace, "replace at {at}");
+        }
+    }
+
+    #[test]
+    fn splice_many_buffering_is_bounded_by_edit_ops() {
+        let edits = vec![
+            Splice::insert(10, vec![Op::FpAlu; 3]),
+            Splice::replace(500_000, vec![Op::IntMul]),
+        ];
+        let mut stream = SpliceMany::new(ints(1_000_000).metered(), edits);
+        let n = (&mut stream).count();
+        assert_eq!(n, 1_000_000 + 3, "3 inserted, 1 replaced in place");
+        assert_eq!(
+            stream.peak_buffered_ops(),
+            4,
+            "buffer bound is the total edit op count, independent of trace length"
+        );
     }
 
     #[test]

@@ -151,11 +151,22 @@ pub enum Counter {
     /// younger than a faulting op at commit (delayed retirement,
     /// §V-A).
     SimFlushes,
+    /// Adversarial scenarios generated and replayed by the fuzzing
+    /// engine (one per composed attack chain).
+    FuzzScenarios,
+    /// Individual attack steps composed into scenarios (base injector
+    /// faults plus composite primitives).
+    FuzzSteps,
+    /// Differential findings: scenarios whose static/dynamic verdicts
+    /// disagreed with the pinned expectation split.
+    FuzzFindings,
+    /// Discrepancy-triggering streams banked into regression corpora.
+    FuzzCorpusBanked,
 }
 
 impl Counter {
     /// Number of counters in the taxonomy.
-    pub const COUNT: usize = 42;
+    pub const COUNT: usize = 46;
 
     /// Every counter, in cell (and wire) order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -201,6 +212,10 @@ impl Counter {
         Counter::SimStallMcq,
         Counter::SimReplays,
         Counter::SimFlushes,
+        Counter::FuzzScenarios,
+        Counter::FuzzSteps,
+        Counter::FuzzFindings,
+        Counter::FuzzCorpusBanked,
     ];
 
     /// Stable wire names, in the same order as [`Counter::ALL`].
@@ -247,6 +262,10 @@ impl Counter {
         "sim_stall_mcq",
         "sim_replays",
         "sim_flushes",
+        "fuzz_scenarios",
+        "fuzz_steps",
+        "fuzz_findings",
+        "fuzz_corpus_banked",
     ];
 
     /// The counter's stable wire name.

@@ -27,6 +27,15 @@ echo "== tier-1: static protocol lint smoke (strict) =="
 # A clean generated trace must carry zero protocol findings.
 cargo run -q --release -p aos-cli -- lint >/dev/null
 
+echo "== tier-1: adversarial differential fuzz smoke (fixed seed) =="
+# A fixed-seed, fixed-budget campaign must run finding-free (exit 0):
+# every generated attack chain lands exactly on the pinned
+# static/dynamic split. The checked-in golden corpus must replay with
+# bit-stable verdicts through both oracles.
+cargo run -q --release -p aos-cli -- fuzz --seed 7 --budget 4 >/dev/null
+cargo run -q --release -p aos-cli -- fuzz \
+    --replay-corpus tests/golden/fuzz/composites.aosc >/dev/null
+
 echo "== tier-1: serve smoke (graceful rejection + clean shutdown) =="
 # A short stdio service session: one well-formed lint job, one
 # malformed line. The malformed line must answer "rejected" (not tear
@@ -80,7 +89,7 @@ cargo run -q --release -p aos-bench --bin streaming_bench -- \
 # The gate is advisory when clippy is not installed (offline image).
 if command -v cargo-clippy >/dev/null 2>&1; then
     echo "== tier-1: clippy unwrap + needless-collect + print-stdout + undocumented-unsafe gate (library crates) =="
-    for crate in aos-util aos-heap aos-mcu aos-hbt aos-isa aos-sim aos-core aos-fault aos-lint aos-serve; do
+    for crate in aos-util aos-heap aos-mcu aos-hbt aos-isa aos-sim aos-core aos-fault aos-lint aos-serve aos-fuzz; do
         cargo clippy -q -p "$crate" --no-deps -- \
             -D clippy::unwrap_used -D clippy::needless_collect \
             -D clippy::print_stdout \

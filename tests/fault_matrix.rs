@@ -12,7 +12,10 @@
 //! accounting paths can never drift apart silently.
 
 use aos_core::experiment::SystemUnderTest;
-use aos_fault::{plan_fault, FaultKind, FaultSpec};
+use aos_fault::campaign::FaultCampaignConfig;
+use aos_fault::{
+    expected_lint_rules, plan_fault, run_fault_campaign, FaultKind, FaultSpec, LintClass,
+};
 use aos_isa::SafetyConfig;
 use aos_ptrauth::PointerLayout;
 use aos_sim::Machine;
@@ -115,6 +118,45 @@ fn baseline_faulted_runs_keep_the_safety_ledger_empty() {
     ] {
         assert_eq!(faulty.counter(c), 0, "baseline counted {c:?}");
     }
+}
+
+/// The static/dynamic split of the six base kinds, pinned as a table
+/// instead of merely annotated: the spatial writes are invisible to
+/// the linter (protocol-clean streams) while the temporal and forgery
+/// kinds each fire an exact rule set. A kind silently drifting across
+/// the split — or firing a different rule — fails here even though it
+/// would still be self-consistent under the weaker `is_consistent`
+/// gate.
+#[test]
+fn lint_cross_check_matches_the_pinned_static_dynamic_split() {
+    let profile = by_name("hmmer").unwrap();
+    let config = FaultCampaignConfig::standard(*profile, SCALE, vec![1, 7]);
+    let outcome = run_fault_campaign(&config).expect("fault campaign runs");
+    assert_eq!(
+        outcome.lint.clean_diagnostics, 0,
+        "the clean trace must lint clean"
+    );
+    assert_eq!(outcome.lint.kinds.len(), FaultKind::ALL.len());
+    for check in &outcome.lint.kinds {
+        assert_eq!(
+            check.classification(),
+            LintClass::expected_for(check.kind),
+            "{} drifted across the static/dynamic split",
+            check.kind.name()
+        );
+        let pinned: Vec<&'static str> = expected_lint_rules(check.kind)
+            .iter()
+            .map(|r| r.name())
+            .collect();
+        assert_eq!(
+            check.rules,
+            pinned,
+            "{} fired a different rule set than pinned",
+            check.kind.name()
+        );
+    }
+    assert!(outcome.lint.matches_pinned_split());
+    assert!(outcome.lint.is_consistent());
 }
 
 #[test]

@@ -1,0 +1,220 @@
+//! The adversarial fuzzing matrix: every composite attack primitive,
+//! alone and chained, lands exactly on its pinned static/dynamic
+//! expectation — detected by the AOS machines, missed by the
+//! unprotected ones, flagged (or deliberately not) by the linter —
+//! and the banked golden corpus replays those verdicts bit-stably.
+//!
+//! Regenerate the golden corpus after an intentional change to the
+//! primitives, the trace generator, or the corpus format with:
+//!
+//! ```text
+//! AOS_UPDATE_GOLDEN=1 cargo test --test fuzz_matrix
+//! ```
+
+use aos_fuzz::differential::{run_scenario, CleanBaseline};
+use aos_fuzz::scenario::plan_scenario;
+use aos_fuzz::{
+    bank_scenarios, replay_corpus, run_fuzz, CompositeKind, FuzzConfig, ScenarioSpec, StepKind,
+};
+use aos_isa::SafetyConfig;
+use aos_ptrauth::PointerLayout;
+use aos_util::{Counter, Telemetry};
+use aos_workloads::profile::by_name;
+use aos_workloads::TraceGenerator;
+
+const GOLDEN: &str = "tests/golden/fuzz/composites.aosc";
+const WORKLOAD: &str = "hmmer";
+const SCALE: f64 = 0.004;
+
+/// One fixed-seed single-step chain per composite primitive — the
+/// permanent regression corpus.
+fn golden_specs() -> Vec<ScenarioSpec> {
+    CompositeKind::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| ScenarioSpec {
+            seed: 100 + i as u64,
+            steps: vec![StepKind::Composite(kind)],
+        })
+        .collect()
+}
+
+fn trace_factory() -> impl Fn() -> TraceGenerator {
+    let profile = by_name(WORKLOAD).expect("workload profile exists");
+    move || TraceGenerator::new(profile, SafetyConfig::Aos, SCALE)
+}
+
+/// The acceptance matrix: each composite chain is detected by both
+/// AOS machines with its exact pinned violation delta, missed by
+/// Baseline/Watchdog/PA, and classified by the linter exactly as
+/// pinned — with zero differential findings.
+#[test]
+fn every_composite_chain_is_detected_by_aos_and_missed_by_baseline() {
+    let profile = by_name(WORKLOAD).expect("workload profile exists");
+    let baseline = CleanBaseline::measure(profile, SCALE);
+    let trace = trace_factory();
+    for spec in golden_specs() {
+        let kind = match spec.steps[0] {
+            StepKind::Composite(kind) => kind,
+            StepKind::Base(_) => unreachable!("golden specs are composites"),
+        };
+        let plan = plan_scenario(&spec, &trace, PointerLayout::default()).expect("plan");
+        let outcome = run_scenario(profile, SCALE, &plan, &baseline);
+        assert!(
+            outcome.findings.is_empty(),
+            "{kind}: {:?}",
+            outcome.findings
+        );
+        let pinned = kind.expectation().exact_delta.expect("composites pin deltas");
+        for verdict in &outcome.systems {
+            assert_eq!(verdict.clean_violations, 0, "{kind} on {}", verdict.system);
+            let expected = if verdict.system.uses_aos() { pinned } else { 0 };
+            assert_eq!(
+                verdict.delta(),
+                expected,
+                "{kind} on {}: wrong violation delta",
+                verdict.system
+            );
+        }
+        let statically_flagged = outcome.lint_diagnostics > 0;
+        assert_eq!(
+            statically_flagged,
+            !kind.expectation().rules.is_empty(),
+            "{kind}: linter verdict off the pinned static/dynamic split"
+        );
+    }
+}
+
+/// Composites compose: all five in one chain, each in a private
+/// synthetic region with private PACs, still produce the exact sum of
+/// their pinned deltas and the union of their pinned rules.
+#[test]
+fn the_full_composite_chain_composes_without_interference() {
+    let profile = by_name(WORKLOAD).expect("workload profile exists");
+    let baseline = CleanBaseline::measure(profile, SCALE);
+    let trace = trace_factory();
+    let spec = ScenarioSpec {
+        seed: 4242,
+        steps: CompositeKind::ALL
+            .into_iter()
+            .map(StepKind::Composite)
+            .collect(),
+    };
+    let plan = plan_scenario(&spec, &trace, PointerLayout::default()).expect("plan");
+    let expected_delta: u64 = CompositeKind::ALL
+        .into_iter()
+        .filter_map(|k| k.expectation().exact_delta)
+        .sum();
+    let outcome = run_scenario(profile, SCALE, &plan, &baseline);
+    assert!(outcome.findings.is_empty(), "{:?}", outcome.findings);
+    for verdict in &outcome.systems {
+        let expected = if verdict.system.uses_aos() {
+            expected_delta
+        } else {
+            0
+        };
+        assert_eq!(verdict.delta(), expected, "on {}", verdict.system);
+    }
+}
+
+/// `aos fuzz --seed N --budget B` twice produces identical digests
+/// and identical reports — the determinism contract.
+#[test]
+fn fuzz_campaign_digest_is_deterministic_and_seed_steered() {
+    let telemetry = Telemetry::disabled();
+    let config = FuzzConfig {
+        workload: WORKLOAD.to_string(),
+        scale: SCALE,
+        seed: 9,
+        budget: 4,
+        ..FuzzConfig::default()
+    };
+    let a = run_fuzz(&config, &telemetry).expect("fuzz");
+    let b = run_fuzz(&config, &telemetry).expect("fuzz");
+    assert_eq!(a.digest(), b.digest());
+    assert_eq!(a.to_json(), b.to_json());
+    let other = run_fuzz(
+        &FuzzConfig {
+            seed: 10,
+            ..config
+        },
+        &telemetry,
+    )
+    .expect("fuzz");
+    assert_ne!(a.digest(), other.digest(), "seed must steer the campaign");
+}
+
+/// The campaign is observable: the `fuzz_*` telemetry counters ledger
+/// scenarios, steps and findings.
+#[test]
+fn fuzz_telemetry_counters_ledger_the_campaign() {
+    let telemetry = Telemetry::enabled();
+    let report = run_fuzz(
+        &FuzzConfig {
+            workload: WORKLOAD.to_string(),
+            scale: SCALE,
+            seed: 3,
+            budget: 3,
+            ..FuzzConfig::default()
+        },
+        &telemetry,
+    )
+    .expect("fuzz");
+    let snapshot = telemetry.snapshot();
+    assert_eq!(snapshot.counter(Counter::FuzzScenarios), 3);
+    assert!(snapshot.counter(Counter::FuzzSteps) >= report.outcomes.len() as u64);
+    assert_eq!(snapshot.counter(Counter::FuzzFindings), report.findings());
+}
+
+/// The banked golden corpus replays with bit-stable verdicts: the
+/// recorded lint total and the per-system violation counts reproduce
+/// exactly from the banked ops alone.
+#[test]
+fn golden_corpus_replays_verdict_stable() {
+    if std::env::var_os("AOS_UPDATE_GOLDEN").is_some() {
+        let outcomes = bank_scenarios(
+            WORKLOAD,
+            SCALE,
+            &golden_specs(),
+            GOLDEN,
+            &Telemetry::disabled(),
+        )
+        .expect("bank golden corpus");
+        assert!(
+            outcomes.iter().all(|o| !o.is_finding()),
+            "golden chains must be finding-free"
+        );
+    }
+    let report = replay_corpus(GOLDEN, &Telemetry::disabled())
+        .expect("golden corpus opens; regenerate with AOS_UPDATE_GOLDEN=1");
+    assert_eq!(report.checks.len(), CompositeKind::ALL.len());
+    assert!(report.is_stable(), "{:?}", report.checks);
+}
+
+/// Banking is a pure function of the specs: regenerating the corpus
+/// from scratch reproduces the checked-in golden file byte for byte.
+#[test]
+fn golden_corpus_matches_regeneration_bit_for_bit() {
+    if std::env::var_os("AOS_UPDATE_GOLDEN").is_some() {
+        // The replay test above is rewriting the golden concurrently;
+        // comparing against a file mid-write would be a false alarm.
+        return;
+    }
+    let tmp = std::env::temp_dir().join("aos-fuzz-golden-regen.aosc");
+    bank_scenarios(
+        WORKLOAD,
+        SCALE,
+        &golden_specs(),
+        &tmp,
+        &Telemetry::disabled(),
+    )
+    .expect("regenerate");
+    let fresh = std::fs::read(&tmp).expect("read regenerated corpus");
+    let golden = std::fs::read(GOLDEN)
+        .expect("golden corpus missing; regenerate with AOS_UPDATE_GOLDEN=1");
+    assert_eq!(
+        fresh, golden,
+        "banked corpus bytes drifted from generation"
+    );
+    std::fs::remove_file(&tmp).ok();
+}

@@ -1,11 +1,21 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Scripted sequences are drawn from the shared
+//! `aos_isa::strategy` generators: [`action_script`] for abstract
+//! `(kind, a, b)` scripts and [`lifecycle_stream`] for complete
+//! well-formed Fig. 7 op streams.
 
 use proptest::prelude::*;
 
+use aos_core::experiment::SystemUnderTest;
 use aos_core::hbt::{CompressedBounds, HashedBoundsTable, HbtConfig};
 use aos_core::ptrauth::{bwb_tag, compute_ahc, Ahc, PointerLayout};
 use aos_core::qarma::{truncate_pac, PacKey, Qarma64};
 use aos_core::AosProcess;
+use aos_isa::strategy::{action_script, lifecycle_stream, LifecycleConfig};
+use aos_isa::SafetyConfig;
+use aos_lint::lint_stream;
+use aos_sim::Machine;
 
 proptest! {
     /// QARMA is a permutation: invert ∘ compute = identity for any
@@ -100,8 +110,12 @@ proptest! {
     /// (pac, base), under arbitrary interleavings of distinct chunks.
     #[test]
     fn hbt_behaves_like_a_bounds_map(
-        chunks in proptest::collection::vec((0u64..2048, 1u64..64), 1..24),
+        script in action_script(0u8..1, 0u64..2048, 1u64..64, 1..24),
     ) {
+        let chunks: Vec<(u64, u64)> = script
+            .into_iter()
+            .map(|(_, pac, granules)| (pac, granules))
+            .collect();
         let mut hbt = HashedBoundsTable::new(HbtConfig {
             pac_size: 11,
             initial_ways: 4,
@@ -136,7 +150,7 @@ proptest! {
     /// operation is caught.
     #[test]
     fn process_never_false_positives_on_valid_programs(
-        script in proptest::collection::vec((0u8..4, 0u64..64, 1u64..512), 1..200),
+        script in action_script(0u8..4, 0u64..64, 1u64..512, 1..200),
     ) {
         let mut p = AosProcess::new();
         let mut live: Vec<(u64, u64)> = Vec::new(); // (ptr, usable size)
@@ -173,6 +187,32 @@ proptest! {
         // And now every access one past the usable size fails.
         for (ptr, usable) in live {
             prop_assert!(p.load(ptr + usable).is_err(), "OOB missed");
+        }
+    }
+
+    /// The false-positive gate over *generated* programs: every
+    /// well-formed Fig. 7 lifecycle stream — including the dangling
+    /// re-sign tail — is lint-clean and runs violation-free on the
+    /// full AOS machine. Before `lifecycle_stream` this property was
+    /// only checkable against the trace generator's fixed workloads.
+    #[test]
+    fn lifecycle_streams_lint_clean_and_run_violation_free(
+        ops in lifecycle_stream(LifecycleConfig {
+            resign_dangling: true,
+            ..LifecycleConfig::default()
+        }),
+    ) {
+        let report = lint_stream(ops.iter().copied(), PointerLayout::default());
+        prop_assert_eq!(
+            report.total_diagnostics(),
+            0,
+            "well-formed stream flagged: {}",
+            report.to_table()
+        );
+        for system in [SafetyConfig::Aos, SafetyConfig::PaAos] {
+            let sut = SystemUnderTest::scaled(system, 0.004);
+            let stats = Machine::new(sut.machine_config()).run(ops.iter().copied());
+            prop_assert_eq!(stats.violations, 0, "violation on clean stream");
         }
     }
 }
