@@ -11,7 +11,7 @@ use aos_core::workloads::microbench::pac_distribution;
 use aos_core::workloads::profile::{self, REAL_WORLD, SPEC2006};
 use aos_fault::campaign::FaultCampaignConfig;
 use aos_fault::{plan_fault, run_fault_campaign, FaultKind, FaultSpec};
-use aos_lint::lint_stream_metered;
+use aos_lint::{lint_stream_metered, MatrixReport, MatrixScan, Policy};
 use aos_ptrauth::PointerLayout;
 use aos_util::{Counter, Gauge, Telemetry};
 use aos_workloads::TraceGenerator;
@@ -85,41 +85,59 @@ USAGE:
                                             point; any violation on the
                                             benign sweep exits 1
   aos faults [--workload <w>] [--scale <f>] [--seeds <n>]
-             [--kinds <k1,k2,..>] [--threads <n>] [--out <path>]
-             [--strict true] [--telemetry true]
+             [--kinds <k1,k2,..>] [--policy <p|all>] [--threads <n>]
+             [--out <path>] [--strict true] [--telemetry true]
                                             fault-injection sweep: inject
                                             seeded overflow/underflow/UAF/
                                             double-free/PAC/AHC faults,
                                             verify AOS detects what the
                                             Baseline misses; --strict fails
                                             unless detection is 100% with
-                                            zero false positives and the
-                                            static lint cross-check is
-                                            consistent
+                                            zero false positives and every
+                                            requested static policy lands
+                                            on its own pinned rule table
   aos fuzz [--workload <w>] [--scale <f>] [--seed <n>] [--budget <n>]
-           [--max-chain <n>] [--corpus-out <path>] [--out <path>]
+           [--max-chain <n>] [--coverage-guided true]
+           [--corpus-out <path>] [--out <path>]
            [--json true] [--telemetry true] [--replay-corpus <path>]
                                             adversarial scenario engine:
                                             generate seeded multi-step
                                             attack chains (base injectors +
                                             composite primitives), replay
-                                            each through both the static
-                                            linter and the dynamic oracle
+                                            each through all four static
+                                            policies and the dynamic oracle
                                             on all five systems, and flag
                                             any verdict outside the pinned
                                             static/dynamic split; findings
                                             exit 1 and bank to --corpus-out;
+                                            --coverage-guided steers the
+                                            chain scheduler toward streams
+                                            lighting new coverage points;
                                             --replay-corpus re-checks a
                                             banked corpus's verdicts instead
   aos lint [--workload <w>] [--system <s>] [--scale <f>]
-           [--fault <kind>] [--seed <n>] [--json true]
-           [--strict false] [--telemetry true]
+           [--fault <kind>] [--seed <n>] [--policy <p|all>]
+           [--json true] [--strict false] [--telemetry true]
                                             statically verify the generated
                                             op stream against the Fig. 7
                                             instrumentation protocol (no
                                             machine run); --fault lints a
                                             seeded faulted stream instead;
-                                            strict by default — any finding
+                                            --policy scans the same stream
+                                            under cryptsan/pacsan/pactight
+                                            abstract models too; strict by
+                                            default — any finding exits 1
+  aos matrix [--workload <w>] [--scale <f>] [--seeds <n>]
+             [--policy <p|all>] [--kinds <k1,k2,..>] [--json true]
+             [--out <path>] [--telemetry true]
+                                            cross-paper detection matrix:
+                                            a clean reference row plus every
+                                            fault kind x seed, scanned once
+                                            through every requested static
+                                            policy (default all four) in a
+                                            single streaming pass per trace;
+                                            emits aos-lint-matrix/v1; any
+                                            policy flagging the clean trace
                                             exits 1
   aos table <1|2|3|4> [--scale <f>]         reproduce a paper table
   aos fig <11|14|15|16|17|18> [--scale <f>] reproduce a paper figure
@@ -156,6 +174,8 @@ USAGE:
   aos workloads                             list the calibrated workloads
 
 SYSTEMS: baseline, watchdog, pa, aos, pa+aos
+POLICIES: aos, cryptsan, pacsan, pactight — a comma list or 'all'
+         (static abstract models; aos is the paper's own verifier)
 THREADS: --threads beats the AOS_CAMPAIGN_THREADS env var, which beats
          the machine's available parallelism; results are identical at
          any thread count.
@@ -164,6 +184,29 @@ EXIT CODES: 0 = success / gate clean; 1 = a strict gate found real
          failures); 2 = unusable invocation or execution error.
 "
     .to_string()
+}
+
+/// Parses a `--policy <name|all>` flag (comma lists allowed) into a
+/// static-policy set; absent means AOS alone — the paper's own
+/// verifier, bit-identical to the pre-framework linter.
+fn parse_policies(parsed: &Parsed) -> Result<Vec<Policy>, String> {
+    let Some(list) = parsed.flag("policy") else {
+        return Ok(vec![Policy::Aos]);
+    };
+    if list.eq_ignore_ascii_case("all") {
+        return Ok(Policy::ALL.to_vec());
+    }
+    let mut policies = Vec::new();
+    for token in list.split(',') {
+        let token = token.trim();
+        let policy = Policy::parse(token).ok_or_else(|| {
+            format!("unknown policy '{token}' (aos, cryptsan, pacsan, pactight, all)")
+        })?;
+        if !policies.contains(&policy) {
+            policies.push(policy);
+        }
+    }
+    Ok(policies)
 }
 
 fn parse_system(name: &str) -> Result<SafetyConfig, String> {
@@ -651,11 +694,13 @@ pub fn faults(args: &[String]) -> Result<(), CliError> {
     let options = campaign_options(&parsed)?;
     let strict = bool_flag(&parsed, "strict");
     let telemetry = bool_flag(&parsed, "telemetry");
+    let policies = parse_policies(&parsed)?;
 
     let config = FaultCampaignConfig {
         kinds,
         options,
         telemetry,
+        policies,
         ..FaultCampaignConfig::standard(*workload, scale, (1..=seed_count).collect())
     };
     println!(
@@ -706,6 +751,26 @@ pub fn faults(args: &[String]) -> Result<(), CliError> {
             check.rules.join(", "),
         );
     }
+    // The AOS rows above *are* the first policy cross-check; any
+    // extra `--policy` entries get their own blocks.
+    for check in outcome.policies.iter().filter(|c| c.policy != Policy::Aos) {
+        println!(
+            "\npolicy cross-check ({}): clean trace raised {} diagnostic(s)",
+            check.policy.name(),
+            check.clean_diagnostics
+        );
+        for k in &check.kinds {
+            println!(
+                "{:<12} {:<14} {}/{} seeds flagged{}{}",
+                k.kind.name(),
+                k.classification().to_string(),
+                k.flagged,
+                k.seeds,
+                if k.rules.is_empty() { "" } else { "; rules: " },
+                k.rules.join(", "),
+            );
+        }
+    }
     if telemetry {
         println!("\naggregate over all faulted cells:");
         print!("{}", outcome.report.telemetry().to_table());
@@ -721,12 +786,19 @@ pub fn faults(args: &[String]) -> Result<(), CliError> {
         && (!outcome.matrix.is_sound()
             || outcome.report.failed() > 0
             || !outcome.lint.is_consistent()
-            || !outcome.lint.matches_pinned_split())
+            || !outcome.lint.matches_pinned_split()
+            || outcome.policies.iter().any(|p| !p.matches_pinned_split()))
     {
+        let policy_json: Vec<String> = outcome
+            .policies
+            .iter()
+            .map(|p| p.to_json_value())
+            .collect();
         return Err(CliError::Findings(format!(
-            "strict fault gate failed: {} {}",
+            "strict fault gate failed: {} {} [{}]",
             outcome.matrix.to_json_value(),
-            outcome.lint.to_json_value()
+            outcome.lint.to_json_value(),
+            policy_json.join(", ")
         )));
     }
     Ok(())
@@ -799,6 +871,7 @@ pub fn fuzz(args: &[String]) -> Result<(), CliError> {
         budget,
         max_chain,
         corpus_out: parsed.flag("corpus-out").map(std::path::PathBuf::from),
+        coverage_guided: bool_flag(&parsed, "coverage-guided"),
     };
     println!(
         "fuzz: {} at scale {scale}, seed {}, {budget} scenario(s), chains up to {max_chain} step(s)",
@@ -842,6 +915,16 @@ pub fn fuzz(args: &[String]) -> Result<(), CliError> {
             report.outcomes.len(),
             report.findings(),
             report.digest()
+        );
+        println!(
+            "coverage: {} point(s), fingerprint {:016x}{}",
+            report.coverage.len(),
+            report.coverage.fingerprint(),
+            if report.coverage_guided {
+                " (guided scheduling)"
+            } else {
+                ""
+            }
         );
         if let Some(corpus) = &report.corpus {
             println!("banked {} finding stream(s) to {corpus}", report.banked);
@@ -888,6 +971,71 @@ pub fn lint(args: &[String]) -> Result<(), CliError> {
     };
     let layout = PointerLayout::default();
     let stream = || TraceGenerator::new(workload, system, scale);
+    let policies = parse_policies(&parsed)?;
+
+    // `--policy` beyond the AOS default switches to the matrix scan:
+    // the same stream (clean or faulted) through every requested
+    // policy in one pass, rendered as a one-row detection matrix. The
+    // default path below stays byte-identical to the pre-framework
+    // linter.
+    if policies != [Policy::Aos] {
+        let (seeds, subject, description, reports) = match parsed.flag("fault") {
+            None => (
+                Vec::new(),
+                "clean".to_string(),
+                None,
+                MatrixScan::run(&policies, stream(), layout, &telemetry),
+            ),
+            Some(kind) => {
+                if !system.uses_aos() {
+                    return Err(format!(
+                        "--fault needs an instrumented stream, but system '{system}' \
+                         carries no AOS protocol ops; use --system aos or pa+aos"
+                    )
+                    .into());
+                }
+                let kind = FaultKind::parse(kind).map_err(|e| e.to_string())?;
+                let seed: u64 = parsed.flag_or("seed", 1u64)?;
+                let plan = plan_fault(stream(), layout, FaultSpec { kind, seed })
+                    .map_err(|e| e.to_string())?;
+                let reports =
+                    MatrixScan::run(&policies, plan.apply(stream()), layout, &telemetry);
+                (
+                    vec![seed],
+                    kind.name().to_string(),
+                    Some(plan.description.clone()),
+                    reports,
+                )
+            }
+        };
+        let mut matrix = MatrixReport::new(workload.name, scale, seeds, policies);
+        matrix.absorb(&subject, &reports);
+        if bool_flag(&parsed, "json") {
+            print!("{}", matrix.to_json());
+        } else {
+            println!(
+                "== aos-lint matrix: {} on {system} @ scale {scale} ==",
+                workload.name
+            );
+            if let Some(description) = description {
+                println!("injected: {description}");
+            }
+            print!("{}", matrix.to_table());
+            if bool_flag(&parsed, "telemetry") {
+                println!();
+                print!("{}", telemetry.snapshot().to_table());
+            }
+        }
+        let entry = &matrix.entries[0];
+        let total: u64 = (0..matrix.policies.len()).map(|p| entry.diagnostics(p)).sum();
+        if strict && total > 0 {
+            return Err(CliError::Findings(format!(
+                "lint gate failed: {total} finding(s) across {} policies",
+                matrix.policies.len()
+            )));
+        }
+        return Ok(());
+    }
 
     let (report, faulted) = match parsed.flag("fault") {
         None => (lint_stream_metered(stream(), layout, &telemetry), None),
@@ -930,6 +1078,95 @@ pub fn lint(args: &[String]) -> Result<(), CliError> {
             report.total_diagnostics(),
             report.errors(),
             report.warnings()
+        )));
+    }
+    Ok(())
+}
+
+/// `aos matrix [--workload w] [--scale f] [--seeds n]
+/// [--policy <p|all>] [--kinds k1,k2,..] [--json true] [--out path]
+/// [--telemetry true]`: the cross-paper detection matrix — a clean
+/// reference row plus every requested fault kind, injected under
+/// every seed and scanned through all requested static policies in
+/// one streaming pass per stream (`aos-lint-matrix/v1`).
+///
+/// The clean row is a false-positive gate: any policy that flags the
+/// uninjected instrumented trace is a real finding (exit 1).
+pub fn matrix_cmd(args: &[String]) -> Result<(), CliError> {
+    let parsed = Parsed::parse(args)?;
+    let workload = find_workload(parsed.flag("workload").unwrap_or("hmmer"))?;
+    // Each (kind, seed) cell replays the generated trace once:
+    // default to the fault sweep's small window.
+    let scale = scale_or(&parsed, 0.004).map_err(|e| e.to_string())?;
+    let seed_count: u64 = parsed.flag_or("seeds", 3u64)?;
+    if seed_count == 0 {
+        return Err("--seeds must be at least 1".to_string().into());
+    }
+    // The matrix exists to cross policies: default to all of them
+    // (unlike `lint`/`faults`, whose default is the paper's AOS).
+    let policies = match parsed.flag("policy") {
+        None => Policy::ALL.to_vec(),
+        Some(_) => parse_policies(&parsed)?,
+    };
+    let kinds = match parsed.flag("kinds") {
+        None => FaultKind::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|k| FaultKind::parse(k.trim()).map_err(|e| e.to_string()))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let telemetry = if bool_flag(&parsed, "telemetry") {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let layout = PointerLayout::default();
+    let stream = || TraceGenerator::new(workload, SafetyConfig::Aos, scale);
+    let seeds: Vec<u64> = (1..=seed_count).collect();
+
+    let mut matrix = MatrixReport::new(workload.name, scale, seeds.clone(), policies.clone());
+    matrix.absorb(
+        "clean",
+        &MatrixScan::run(&policies, stream(), layout, &telemetry),
+    );
+    for &kind in &kinds {
+        for &seed in &seeds {
+            let plan = plan_fault(stream(), layout, FaultSpec { kind, seed })
+                .map_err(|e| e.to_string())?;
+            let reports = MatrixScan::run(&policies, plan.apply(stream()), layout, &telemetry);
+            matrix.absorb(kind.name(), &reports);
+        }
+    }
+
+    if bool_flag(&parsed, "json") {
+        print!("{}", matrix.to_json());
+    } else {
+        print!("{}", matrix.to_table());
+        if bool_flag(&parsed, "telemetry") {
+            println!();
+            print!("{}", telemetry.snapshot().to_table());
+        }
+    }
+    if let Some(out) = parsed.flag("out") {
+        std::fs::write(out, matrix.to_json())
+            .map_err(|e| format!("cannot write '{out}': {e}"))?;
+        println!("report written to {out}");
+    }
+
+    let clean = matrix.entry("clean").expect("clean row always absorbed");
+    let noisy: Vec<&str> = matrix
+        .policies
+        .iter()
+        .enumerate()
+        .filter(|(p, _)| clean.detected(*p))
+        .map(|(_, policy)| policy.name())
+        .collect();
+    if !noisy.is_empty() {
+        return Err(CliError::Findings(format!(
+            "matrix gate failed: {} polic{} flagged the clean trace ({})",
+            noisy.len(),
+            if noisy.len() == 1 { "y" } else { "ies" },
+            noisy.join(", ")
         )));
     }
     Ok(())
@@ -1391,6 +1628,48 @@ mod tests {
         assert!(text.contains("--mcq"));
         assert!(text.contains("--bwb"));
         assert!(text.contains("--model stage|approximate"));
+        // The multi-policy surface is documented: the matrix command,
+        // the --policy flag, the policy roster, and guided fuzzing.
+        assert!(text.contains("aos matrix"));
+        assert!(text.contains("--policy <p|all>"));
+        assert!(text.contains("POLICIES"));
+        assert!(text.contains("--coverage-guided"));
+    }
+
+    #[test]
+    fn policy_flags_honor_the_usage_contract() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // Unknown policies are usage errors everywhere the flag exists.
+        assert!(matches!(
+            lint(&args(&["--policy", "memtagger"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            matrix_cmd(&args(&["--policy", "memtagger"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            faults(&args(&["--policy", "memtagger"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            matrix_cmd(&args(&["--seeds", "0"])),
+            Err(CliError::Usage(_))
+        ));
+        // A clean instrumented trace scans clean under every policy.
+        assert!(lint(&args(&["--scale", "0.002", "--policy", "all"])).is_ok());
+        // The UAF split of the detection matrix: CryptSan's revoked
+        // key catches what PACSan's size-0 re-sign launders away.
+        assert!(matches!(
+            lint(&args(&["--fault", "uaf", "--policy", "cryptsan"])),
+            Err(CliError::Findings(_))
+        ));
+        assert!(lint(&args(&["--fault", "uaf", "--policy", "pacsan"])).is_ok());
+        // A small matrix sweep passes its clean-row gate end to end.
+        assert!(matrix_cmd(&args(&[
+            "--scale", "0.002", "--seeds", "1", "--kinds", "uaf,pac-tamper",
+        ]))
+        .is_ok());
     }
 
     #[test]

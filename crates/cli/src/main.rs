@@ -10,6 +10,7 @@
 //! aos faults [options]                 seeded fault-injection sweep
 //! aos fuzz [options]                   adversarial differential fuzzing
 //! aos lint [options]                   static protocol verification
+//! aos matrix [options]                 cross-policy detection matrix
 //! aos table <1|2|3|4> [--scale f]      reproduce a paper table
 //! aos fig <11|14|15|16|17|18> [--scale f]   reproduce a paper figure
 //! aos pac [--allocations n] [--bits b] the Fig. 11 microbenchmark
@@ -47,6 +48,7 @@ fn main() -> ExitCode {
         "faults" => commands::faults(rest),
         "fuzz" => commands::fuzz(rest),
         "lint" => commands::lint(rest),
+        "matrix" => commands::matrix_cmd(rest),
         "table" => commands::table(rest).map_err(CliError::from),
         "fig" => commands::fig(rest).map_err(CliError::from),
         "pac" => commands::pac(rest).map_err(CliError::from),

@@ -12,10 +12,10 @@ use aos_core::experiment::campaign::{
 use aos_core::experiment::SystemUnderTest;
 use aos_isa::stream::{BufferedOps, OpStream};
 use aos_isa::{Op, SafetyConfig};
-use aos_lint::{lint_stream, Rule};
+use aos_lint::{MatrixScan, Policy, Rule};
 use aos_ptrauth::PointerLayout;
 use aos_sim::Machine;
-use aos_util::AosError;
+use aos_util::{AosError, Telemetry};
 use aos_workloads::{TraceGenerator, WorkloadProfile};
 
 use crate::inject::{plan_fault_batched, FaultKind, FaultPlan, FaultSpec};
@@ -35,6 +35,12 @@ pub struct FaultCampaignConfig {
     /// Systems to replay each faulted trace on. Defaults pair the
     /// protected AOS machine with the unprotected Baseline.
     pub systems: Vec<SafetyConfig>,
+    /// Static policies to cross-check every stream against. The AOS
+    /// policy is always scanned (it backs the legacy
+    /// `lint_cross_check`); listing more policies here adds their
+    /// verdicts to the same single-pass matrix scan and to the
+    /// `policy_cross_check` report annotation.
+    pub policies: Vec<Policy>,
     /// Runner execution knobs (threads, timeout, retries).
     pub options: CampaignOptions,
     /// Whether each cell's machine records pipeline telemetry (the
@@ -53,6 +59,7 @@ impl FaultCampaignConfig {
             kinds: FaultKind::ALL.to_vec(),
             seeds,
             systems: vec![SafetyConfig::Aos, SafetyConfig::Baseline],
+            policies: vec![Policy::Aos],
             options: CampaignOptions::default(),
             telemetry: false,
         }
@@ -71,6 +78,10 @@ pub struct FaultCampaignOutcome {
     /// The differential static-analysis cross-check: what `aos-lint`
     /// sees in the same clean and faulted streams.
     pub lint: LintCrossCheck,
+    /// Per-policy cross-checks, one per configured [`Policy`], in
+    /// [`Policy::ALL`] order. Each policy's verdicts come from the
+    /// same single-pass matrix scan as the legacy `lint` field.
+    pub policies: Vec<PolicyCrossCheck>,
 }
 
 /// How the static linter relates to one [`FaultKind`]: either the
@@ -117,6 +128,58 @@ pub fn expected_lint_rules(kind: FaultKind) -> &'static [Rule] {
         FaultKind::DoubleFree => &[Rule::DoubleBndclr, Rule::UnbalancedAtEnd],
         FaultKind::PacTamper => &[Rule::UnknownPac],
         FaultKind::AhcForge => &[Rule::UnknownPac],
+    }
+}
+
+/// The pinned static rules each policy fires on each base fault kind
+/// — the per-policy analogue of [`expected_lint_rules`], in wire
+/// names because every policy owns its own taxonomy. An empty slice
+/// pins the kind as invisible to that policy's static model:
+///
+/// - spatial faults are protocol-clean under every policy;
+/// - `use-after-free` splits CryptSan (revoked key — caught) from
+///   PACSan (the Fig. 7b re-sign launders the seal — missed);
+/// - `double-free` is caught by everything with a revocation notion,
+///   i.e. all but PACTight;
+/// - the forgery kinds are caught by all four (an unseen PAC fails
+///   every model's provenance check).
+pub fn expected_policy_rules(policy: Policy, kind: FaultKind) -> &'static [&'static str] {
+    match policy {
+        Policy::Aos => match kind {
+            FaultKind::OverflowWrite | FaultKind::UnderflowWrite => &[],
+            FaultKind::UseAfterFree => &["access-after-clear"],
+            FaultKind::DoubleFree => &["double-bndclr", "unbalanced-at-end"],
+            FaultKind::PacTamper | FaultKind::AhcForge => &["unknown-pac"],
+        },
+        Policy::CryptSan => match kind {
+            FaultKind::OverflowWrite | FaultKind::UnderflowWrite => &[],
+            FaultKind::UseAfterFree => &["revoked-key"],
+            FaultKind::DoubleFree => &["double-revoke"],
+            FaultKind::PacTamper | FaultKind::AhcForge => &["unallocated-key"],
+        },
+        Policy::PacSan => match kind {
+            FaultKind::OverflowWrite | FaultKind::UnderflowWrite | FaultKind::UseAfterFree => &[],
+            FaultKind::DoubleFree => &["double-invalidate"],
+            FaultKind::PacTamper | FaultKind::AhcForge => &["unsealed-pointer"],
+        },
+        Policy::PacTight => match kind {
+            FaultKind::OverflowWrite
+            | FaultKind::UnderflowWrite
+            | FaultKind::UseAfterFree
+            | FaultKind::DoubleFree => &[],
+            FaultKind::PacTamper | FaultKind::AhcForge => &["forged-pointer"],
+        },
+    }
+}
+
+/// The pinned classification implied by [`expected_policy_rules`]: a
+/// kind with pinned rules is statically detectable under the policy,
+/// one without is dynamic-only.
+pub fn expected_policy_class(policy: Policy, kind: FaultKind) -> LintClass {
+    if expected_policy_rules(policy, kind).is_empty() {
+        LintClass::DynamicOnly
+    } else {
+        LintClass::StaticallyDetectable
     }
 }
 
@@ -239,6 +302,108 @@ impl LintCrossCheck {
     }
 }
 
+/// One policy's lint verdicts for one fault kind across the
+/// campaign's seeds — the per-policy analogue of [`LintKindCheck`].
+#[derive(Debug, Clone)]
+pub struct PolicyKindCheck {
+    /// The verifying policy.
+    pub policy: Policy,
+    /// The fault class.
+    pub kind: FaultKind,
+    /// Seeds whose plan succeeded and whose faulted stream was
+    /// scanned.
+    pub seeds: usize,
+    /// Seeds whose faulted stream raised at least one diagnostic
+    /// under this policy.
+    pub flagged: usize,
+    /// Union of the policy's rule names that fired, in taxonomy
+    /// order.
+    pub rules: Vec<&'static str>,
+}
+
+impl PolicyKindCheck {
+    /// The kind's static-vs-dynamic classification under the policy.
+    pub fn classification(&self) -> LintClass {
+        if self.flagged == 0 {
+            LintClass::DynamicOnly
+        } else if self.flagged == self.seeds {
+            LintClass::StaticallyDetectable
+        } else {
+            LintClass::Mixed
+        }
+    }
+}
+
+/// One policy's differential summary across the whole sweep: the
+/// clean stream's verdict plus each fault kind's classification —
+/// the `--policy` strict gate's evidence.
+#[derive(Debug, Clone)]
+pub struct PolicyCrossCheck {
+    /// The verifying policy.
+    pub policy: Policy,
+    /// Diagnostics the policy raised on the clean stream — any
+    /// nonzero value is a false positive of the model.
+    pub clean_diagnostics: u64,
+    /// One entry per fault kind, in sweep order.
+    pub kinds: Vec<PolicyKindCheck>,
+}
+
+impl PolicyCrossCheck {
+    /// `true` when the clean stream scanned clean and every kind is
+    /// unambiguously static or dynamic-only under this policy.
+    pub fn is_consistent(&self) -> bool {
+        self.clean_diagnostics == 0
+            && self
+                .kinds
+                .iter()
+                .all(|k| k.classification() != LintClass::Mixed)
+    }
+
+    /// `true` when every swept kind's observed classification and
+    /// fired rule set equal the policy's pinned table
+    /// ([`expected_policy_class`] / [`expected_policy_rules`]).
+    pub fn matches_pinned_split(&self) -> bool {
+        self.clean_diagnostics == 0
+            && self.kinds.iter().all(|k| {
+                k.classification() == expected_policy_class(self.policy, k.kind)
+                    && k.rules == expected_policy_rules(self.policy, k.kind)
+            })
+    }
+
+    /// A single-line JSON value for the report annotation.
+    pub fn to_json_value(&self) -> String {
+        let kinds = self
+            .kinds
+            .iter()
+            .map(|k| {
+                let rules = k
+                    .rules
+                    .iter()
+                    .map(|r| format!("\"{r}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "{{\"kind\": \"{}\", \"classification\": \"{}\", \
+                     \"seeds\": {}, \"flagged\": {}, \"rules\": [{rules}]}}",
+                    k.kind.name(),
+                    k.classification(),
+                    k.seeds,
+                    k.flagged
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"policy\": \"{}\", \"clean_diagnostics\": {}, \"consistent\": {}, \
+             \"pinned\": {}, \"kinds\": [{kinds}]}}",
+            self.policy.name(),
+            self.clean_diagnostics,
+            self.is_consistent(),
+            self.matches_pinned_split()
+        )
+    }
+}
+
 /// Runs the grid, fully streaming: each `(kind, seed)` fault is
 /// planned **once** from one `O(window)` scan of the deterministic
 /// trace stream, then every cell regenerates the stream lazily inside
@@ -293,16 +458,45 @@ pub fn run_fault_campaign(config: &FaultCampaignConfig) -> Result<FaultCampaignO
         }
     }
 
-    // The differential static cross-check: the linter scans the same
-    // streams the machines will replay — the clean stream once, then
-    // each planned fault's spliced stream — classifying every kind as
-    // statically detectable or dynamic-only without running a machine.
-    let clean_diagnostics =
-        lint_stream(stream(&config.profile, config.scale), layout).total_diagnostics();
+    // The differential static cross-check: every configured policy
+    // scans the same streams the machines will replay — the clean
+    // stream once, then each planned fault's spliced stream — in one
+    // shared-decode matrix pass per stream. The AOS policy is always
+    // scanned (it backs the legacy `lint_cross_check`, bit-identical
+    // to the pre-framework linter); extra policies ride the same
+    // pass.
+    let requested: Vec<Policy> = Policy::ALL
+        .into_iter()
+        .filter(|p| config.policies.contains(p))
+        .collect();
+    let scan_policies: Vec<Policy> = Policy::ALL
+        .into_iter()
+        .filter(|p| *p == Policy::Aos || requested.contains(p))
+        .collect();
+    let slot = |p: Policy| {
+        scan_policies
+            .iter()
+            .position(|&q| q == p)
+            .expect("policy was scanned")
+    };
+    let clean_reports = MatrixScan::run(
+        &scan_policies,
+        stream(&config.profile, config.scale),
+        layout,
+        &Telemetry::disabled(),
+    );
     let mut lint = LintCrossCheck {
-        clean_diagnostics,
+        clean_diagnostics: clean_reports[slot(Policy::Aos)].total_diagnostics(),
         kinds: Vec::new(),
     };
+    let mut policy_checks: Vec<PolicyCrossCheck> = requested
+        .iter()
+        .map(|&p| PolicyCrossCheck {
+            policy: p,
+            clean_diagnostics: clean_reports[slot(p)].total_diagnostics(),
+            kinds: Vec::new(),
+        })
+        .collect();
     for (ki, &kind) in config.kinds.iter().enumerate() {
         let mut check = LintKindCheck {
             kind,
@@ -311,15 +505,47 @@ pub fn run_fault_campaign(config: &FaultCampaignConfig) -> Result<FaultCampaignO
             rules: Vec::new(),
         };
         let mut fired = [false; Rule::COUNT];
+        let mut kind_checks: Vec<PolicyKindCheck> = requested
+            .iter()
+            .map(|&p| PolicyKindCheck {
+                policy: p,
+                kind,
+                seeds: 0,
+                flagged: 0,
+                rules: Vec::new(),
+            })
+            .collect();
+        let mut policy_fired: Vec<Vec<bool>> = requested
+            .iter()
+            .map(|&p| vec![false; p.rules().len()])
+            .collect();
         for si in 0..config.seeds.len() {
             if let Ok(plan) = &plans[ki * config.seeds.len() + si] {
-                let report = lint_stream(plan.apply(stream(&config.profile, config.scale)), layout);
+                let reports = MatrixScan::run(
+                    &scan_policies,
+                    plan.apply(stream(&config.profile, config.scale)),
+                    layout,
+                    &Telemetry::disabled(),
+                );
+                let aos = &reports[slot(Policy::Aos)];
                 check.seeds += 1;
-                if !report.clean() {
+                if !aos.clean() {
                     check.flagged += 1;
                 }
-                for rule in report.rules_fired() {
+                for rule in aos.aos_rules_fired() {
                     fired[rule as usize] = true;
+                }
+                for (pi, &p) in requested.iter().enumerate() {
+                    let report = &reports[slot(p)];
+                    kind_checks[pi].seeds += 1;
+                    if !report.clean() {
+                        kind_checks[pi].flagged += 1;
+                    }
+                    for (ri, &count) in report.rule_counts.iter().enumerate() {
+                        if count > 0 {
+                            policy_fired[pi][ri] = true;
+                        }
+                    }
                 }
             }
         }
@@ -329,6 +555,17 @@ pub fn run_fault_campaign(config: &FaultCampaignConfig) -> Result<FaultCampaignO
             .map(|r| r.name())
             .collect();
         lint.kinds.push(check);
+        for (pi, mut kind_check) in kind_checks.into_iter().enumerate() {
+            kind_check.rules = kind_check
+                .policy
+                .rules()
+                .iter()
+                .enumerate()
+                .filter(|(ri, _)| policy_fired[pi][*ri])
+                .map(|(_, info)| info.name)
+                .collect();
+            policy_checks[pi].kinds.push(kind_check);
+        }
     }
 
     // A failed plan is reported through its cells' Failed outcome
@@ -379,10 +616,17 @@ pub fn run_fault_campaign(config: &FaultCampaignConfig) -> Result<FaultCampaignO
     }
     report.annotate("fault_detection", matrix.to_json_value());
     report.annotate("lint_cross_check", lint.to_json_value());
+    let policy_json = policy_checks
+        .iter()
+        .map(PolicyCrossCheck::to_json_value)
+        .collect::<Vec<_>>()
+        .join(", ");
+    report.annotate("policy_cross_check", format!("[{policy_json}]"));
     Ok(FaultCampaignOutcome {
         report,
         matrix,
         lint,
+        policies: policy_checks,
     })
 }
 
@@ -395,6 +639,7 @@ mod tests {
     fn standard_sweep_is_sound_and_annotated() {
         let config = FaultCampaignConfig {
             options: CampaignOptions::with_threads(4),
+            policies: Policy::ALL.to_vec(),
             ..FaultCampaignConfig::standard(*by_name("hmmer").unwrap(), 0.004, vec![1, 2])
         };
         let outcome = run_fault_campaign(&config).unwrap();
@@ -412,9 +657,29 @@ mod tests {
         assert!(outcome.lint.is_consistent(), "{}", outcome.lint.to_json_value());
         assert_eq!(outcome.lint.kinds.len(), 6);
         assert!(outcome.lint.static_kinds().count() >= 1);
+        // Every configured policy's verdicts must land exactly on its
+        // pinned per-kind table, and the AOS policy's check must agree
+        // with the legacy lint cross-check (same scan, same linter).
+        assert_eq!(outcome.policies.len(), Policy::ALL.len());
+        for check in &outcome.policies {
+            assert!(
+                check.matches_pinned_split(),
+                "{}",
+                check.to_json_value()
+            );
+        }
+        let aos_check = &outcome.policies[0];
+        assert_eq!(aos_check.policy, Policy::Aos);
+        assert_eq!(aos_check.clean_diagnostics, outcome.lint.clean_diagnostics);
+        for (pk, lk) in aos_check.kinds.iter().zip(&outcome.lint.kinds) {
+            assert_eq!(pk.flagged, lk.flagged);
+            assert_eq!(pk.rules, lk.rules);
+        }
         let json = outcome.report.to_json();
         assert!(json.contains("\"fault_detection\": {\"trials\": 24,"));
         assert!(json.contains("\"lint_cross_check\": {\"clean_diagnostics\": 0, \"consistent\": true,"));
+        assert!(json.contains("\"policy_cross_check\": [{\"policy\": \"aos\","));
+        assert!(json.contains("\"policy\": \"pactight\""));
         assert!(json.contains("\"schema\": \"aos-campaign-report/v5\""));
         // Every cell streamed: ops were metered and the pipeline never
         // held more than a window of trace (the clean trace here is

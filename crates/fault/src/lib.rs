@@ -36,8 +36,9 @@ pub mod inject;
 pub mod oracle;
 
 pub use campaign::{
-    expected_lint_rules, run_fault_campaign, FaultCampaignConfig, FaultCampaignOutcome, LintClass,
-    LintCrossCheck, LintKindCheck,
+    expected_lint_rules, expected_policy_class, expected_policy_rules, run_fault_campaign,
+    FaultCampaignConfig, FaultCampaignOutcome, LintClass, LintCrossCheck, LintKindCheck,
+    PolicyCrossCheck, PolicyKindCheck,
 };
 pub use inject::{
     inject, plan_fault, plan_fault_batched, FaultAction, FaultKind, FaultPlan, FaultSpec,

@@ -1,19 +1,26 @@
 //! The differential harness: replays one planned scenario through
-//! both oracles — `aos-lint` (static) and the machine-model fault
-//! oracle (dynamic) — on all five systems, and flags any verdict
-//! that falls outside the scenario's pinned expectation split.
+//! *every* static policy — `aos-lint`'s four abstract interpreters in
+//! one [`MatrixScan`] pass — and the machine-model fault oracle on
+//! all five systems, and flags any verdict that falls outside the
+//! scenario's pinned expectation split.
 //!
 //! The harness never decides *which* oracle is right. A
 //! [`Finding`] means the static verdict, the dynamic verdict, and
-//! the pinned expectation do not triangulate — a bug in the linter,
-//! in the machine model, or in the primitive's own pinning, and in
-//! every case worth banking as a regression input.
+//! the pinned expectation do not triangulate — a bug in a policy
+//! verifier, in the machine model, or in the primitive's own
+//! pinning, and in every case worth banking as a regression input.
+//! The AOS column keeps its dedicated finding kinds
+//! ([`FindingKind::StaticDisagreement`], [`FindingKind::MissingRule`])
+//! and stays bit-identical to the pre-framework `lint_stream` pass;
+//! the cross-paper columns report through
+//! [`FindingKind::PolicyDisagreement`].
 
 use aos_core::experiment::SystemUnderTest;
 use aos_isa::SafetyConfig;
-use aos_lint::{lint_stream, Rule};
+use aos_lint::{MatrixScan, Policy, PolicyReport, Rule};
 use aos_ptrauth::PointerLayout;
 use aos_sim::Machine;
+use aos_util::Telemetry;
 use aos_workloads::{TraceGenerator, WorkloadProfile};
 
 use crate::scenario::ScenarioPlan;
@@ -42,6 +49,10 @@ pub enum FindingKind {
     /// The clean trace did not lint clean, so static expectations
     /// cannot be trusted for this workload.
     DirtyCleanLint,
+    /// A cross-paper policy's verdict contradicts the chain's pinned
+    /// per-policy rule split (a pinned rule stayed silent, or a rule
+    /// outside the pinned set fired beyond its clean-trace count).
+    PolicyDisagreement,
 }
 
 impl FindingKind {
@@ -55,6 +66,7 @@ impl FindingKind {
             FindingKind::DeltaMismatch => "delta-mismatch",
             FindingKind::FalsePositive => "false-positive",
             FindingKind::DirtyCleanLint => "dirty-clean-lint",
+            FindingKind::PolicyDisagreement => "policy-disagreement",
         }
     }
 }
@@ -111,22 +123,30 @@ impl SystemVerdict {
 }
 
 /// Clean-trace measurements shared by every scenario of a campaign:
-/// one machine run per system plus one lint pass, all against the
-/// unmodified generated trace. Measuring this once per `(workload,
-/// scale)` instead of once per trial keeps a budget-`B` campaign at
-/// `B × (5 machine runs + 1 lint)` instead of twice that.
+/// one machine run per system plus one four-policy [`MatrixScan`],
+/// all against the unmodified generated trace. Measuring this once
+/// per `(workload, scale)` instead of once per trial keeps a
+/// budget-`B` campaign at `B × (5 machine runs + 1 matrix scan)`
+/// instead of twice that.
 #[derive(Debug, Clone)]
 pub struct CleanBaseline {
     /// Clean violations per system, in [`SafetyConfig::ALL`] order.
     pub violations: Vec<(SafetyConfig, u64)>,
-    /// Diagnostics the clean trace raises in the linter (expected 0;
-    /// anything else poisons static expectations).
+    /// Diagnostics the clean trace raises in the AOS linter (expected
+    /// 0; anything else poisons static expectations). Always equals
+    /// the AOS row of `policy_rule_counts` — kept separate because it
+    /// is the pre-framework wire field.
     pub lint_diagnostics: u64,
+    /// Per-policy per-rule counts on the clean trace, in
+    /// [`Policy::ALL`] order. Faulted-stream verdicts are judged on
+    /// the *delta* against this row, so a policy with inherent
+    /// clean-trace noise cannot fake (or mask) a detection.
+    pub policy_rule_counts: Vec<Vec<u64>>,
 }
 
 impl CleanBaseline {
     /// Measures the clean trace for `(profile, scale)` on all five
-    /// systems.
+    /// systems and all four static policies.
     pub fn measure(profile: &WorkloadProfile, scale: f64) -> CleanBaseline {
         let stream = || TraceGenerator::new(profile, SafetyConfig::Aos, scale);
         let violations = SafetyConfig::ALL
@@ -137,11 +157,17 @@ impl CleanBaseline {
                 (system, result.violations)
             })
             .collect();
-        let lint_diagnostics =
-            lint_stream(stream(), PointerLayout::default()).total_diagnostics();
+        let reports = MatrixScan::run(
+            &Policy::ALL,
+            stream(),
+            PointerLayout::default(),
+            &Telemetry::disabled(),
+        );
+        let lint_diagnostics = reports[0].total_diagnostics();
         CleanBaseline {
             violations,
             lint_diagnostics,
+            policy_rule_counts: reports.into_iter().map(|r| r.rule_counts).collect(),
         }
     }
 
@@ -154,6 +180,17 @@ impl CleanBaseline {
     }
 }
 
+/// One static policy's verdict on a faulted stream.
+#[derive(Debug, Clone)]
+pub struct PolicyVerdict {
+    /// The policy that scanned.
+    pub policy: Policy,
+    /// Total diagnostics on the faulted stream.
+    pub diagnostics: u64,
+    /// Wire names of the rules that fired, in taxonomy order.
+    pub rules: Vec<&'static str>,
+}
+
 /// Everything the harness measured for one scenario.
 #[derive(Debug, Clone)]
 pub struct DifferentialOutcome {
@@ -161,10 +198,13 @@ pub struct DifferentialOutcome {
     pub scenario: String,
     /// Step names in chain order (dropped steps excluded).
     pub steps: Vec<&'static str>,
-    /// Total diagnostics the linter raised on the faulted stream.
+    /// Total diagnostics the AOS linter raised on the faulted stream.
     pub lint_diagnostics: u64,
-    /// The rules that fired, in taxonomy order.
+    /// The AOS rules that fired, in taxonomy order.
     pub lint_rules: Vec<Rule>,
+    /// Every static policy's verdict, in [`Policy::ALL`] order (the
+    /// AOS entry restates `lint_diagnostics`/`lint_rules`).
+    pub policies: Vec<PolicyVerdict>,
     /// Per-system dynamic measurements, in [`SafetyConfig::ALL`]
     /// order.
     pub systems: Vec<SystemVerdict>,
@@ -205,15 +245,23 @@ pub fn run_scenario(
         });
     }
 
-    // Static oracle: one lint pass over the faulted stream.
-    let report = lint_stream(plan.apply(stream()), layout);
-    let lint_rules = report.rules_fired();
+    // Static oracles: one matrix pass over the faulted stream drives
+    // all four policies. The AOS report is the Linter's own output
+    // (bit-identical to the pre-framework lint_stream pass).
+    let policy_reports = MatrixScan::run(
+        &Policy::ALL,
+        plan.apply(stream()),
+        layout,
+        &Telemetry::disabled(),
+    );
+    let report = &policy_reports[0];
+    let lint_rules = report.aos_rules_fired();
     let all_pinned = plan.steps.iter().all(|s| s.static_pinned);
     match plan.expected_static() {
         Some(true) => {
             let expected = plan.expected_rules();
             for rule in &expected {
-                if report.count(*rule) == 0 {
+                if report.count(*rule as usize) == 0 {
                     findings.push(Finding {
                         scenario: scenario.clone(),
                         system: None,
@@ -249,6 +297,42 @@ pub fn run_scenario(
         }
         Some(false) => {}
         None => {} // a collision unpinned the static side; nothing to hold it to
+    }
+
+    // Cross-paper policies: each non-AOS column is held to the
+    // chain's pinned per-policy rule split, measured as a delta over
+    // the clean baseline. Only fully pinned chains are judged — a
+    // collision-unpinned tamper/forge step makes every policy's
+    // verdict legitimately input-dependent, exactly as it does for
+    // the AOS column above.
+    if all_pinned {
+        for (p, policy_report) in policy_reports.iter().enumerate().skip(1) {
+            let policy = policy_report.policy;
+            let expected = plan.expected_policy_rules(policy);
+            for (ri, info) in policy.rules().iter().enumerate() {
+                let clean = baseline.policy_rule_counts[p][ri];
+                let delta = policy_report.rule_counts[ri].saturating_sub(clean);
+                let pinned = expected.contains(&info.name);
+                if pinned && delta == 0 {
+                    findings.push(Finding {
+                        scenario: scenario.clone(),
+                        system: None,
+                        kind: FindingKind::PolicyDisagreement,
+                        detail: format!("{policy}: pinned rule '{}' did not fire", info.name),
+                    });
+                } else if !pinned && delta > 0 {
+                    findings.push(Finding {
+                        scenario: scenario.clone(),
+                        system: None,
+                        kind: FindingKind::PolicyDisagreement,
+                        detail: format!(
+                            "{policy}: unpinned rule '{}' fired {delta} time(s) over baseline",
+                            info.name
+                        ),
+                    });
+                }
+            }
+        }
     }
 
     // Dynamic oracle: the faulted stream on every system.
@@ -309,8 +393,18 @@ pub fn run_scenario(
         steps: plan.steps.iter().map(|s| s.kind.name()).collect(),
         lint_diagnostics: report.total_diagnostics(),
         lint_rules,
+        policies: policy_reports.iter().map(policy_verdict).collect(),
         systems,
         findings,
+    }
+}
+
+/// Collapses one policy's report into the wire verdict.
+fn policy_verdict(report: &PolicyReport) -> PolicyVerdict {
+    PolicyVerdict {
+        policy: report.policy,
+        diagnostics: report.total_diagnostics(),
+        rules: report.rule_names_fired(),
     }
 }
 
@@ -374,5 +468,41 @@ mod tests {
         let kinds: Vec<FindingKind> = outcome.findings.iter().map(|f| f.kind).collect();
         assert!(kinds.contains(&FindingKind::MissingRule), "{kinds:?}");
         assert!(kinds.contains(&FindingKind::DynamicMiss), "{kinds:?}");
+        // The cross-policy oracle must catch the same lie: CryptSan's
+        // pinned revoked-key cannot fire on the clean trace either.
+        assert!(kinds.contains(&FindingKind::PolicyDisagreement), "{kinds:?}");
+    }
+
+    #[test]
+    fn policy_verdicts_split_exactly_as_the_matrix_pins() {
+        let profile = by_name("mcf").expect("mcf profile exists");
+        let baseline = CleanBaseline::measure(profile, SCALE);
+        assert_eq!(baseline.policy_rule_counts.len(), Policy::ALL.len());
+        assert!(
+            baseline.policy_rule_counts.iter().all(|row| row.iter().sum::<u64>() == 0),
+            "clean trace must be clean under every policy"
+        );
+        let trace = || TraceGenerator::new(profile, SafetyConfig::Aos, SCALE);
+        let spec = ScenarioSpec {
+            seed: 23,
+            steps: vec![StepKind::Composite(CompositeKind::DanglingResign)],
+        };
+        let plan = plan_scenario(&spec, trace, PointerLayout::default()).expect("plan");
+        let outcome = run_scenario(profile, SCALE, &plan, &baseline);
+        assert!(!outcome.is_finding(), "{:?}", outcome.findings);
+        let verdict = |p: Policy| {
+            outcome
+                .policies
+                .iter()
+                .find(|v| v.policy == p)
+                .expect("verdict per policy")
+        };
+        // AOS and CryptSan see the dangling pointer; PACSan's re-seal
+        // laundering and PACTight's liveness-blindness miss it.
+        assert_eq!(verdict(Policy::Aos).rules, vec!["access-after-clear"]);
+        assert_eq!(verdict(Policy::Aos).diagnostics, outcome.lint_diagnostics);
+        assert_eq!(verdict(Policy::CryptSan).rules, vec!["revoked-key"]);
+        assert_eq!(verdict(Policy::PacSan).diagnostics, 0);
+        assert_eq!(verdict(Policy::PacTight).diagnostics, 0);
     }
 }

@@ -14,12 +14,13 @@ use std::path::PathBuf;
 use aos_core::experiment::SystemUnderTest;
 use aos_isa::corpus::{CorpusReader, CorpusWriter};
 use aos_isa::{Op, SafetyConfig};
-use aos_lint::lint_stream;
+use aos_lint::{MatrixScan, Policy};
 use aos_ptrauth::PointerLayout;
 use aos_sim::Machine;
 use aos_util::{AosError, Counter, Telemetry, Xoshiro256StarStar};
 use aos_workloads::{profile::by_name, TraceGenerator, WorkloadProfile};
 
+use crate::coverage::{fnv1a64, fnv1a64_init, CoverageMap};
 use crate::differential::{run_scenario, CleanBaseline, DifferentialOutcome};
 use crate::scenario::{plan_scenario, ScenarioPlan, ScenarioSpec, StepKind};
 
@@ -36,6 +37,13 @@ pub struct FuzzConfig {
     pub budget: usize,
     /// Longest chain the generator draws (steps per scenario).
     pub max_chain: usize,
+    /// When set, the scheduler steers chain generation by coverage:
+    /// uncovered step kinds are seeded first, and chains that lit new
+    /// coverage points get mutated in preference to fresh uniform
+    /// draws. When unset the engine draws uniformly — byte-identical
+    /// RNG consumption to the pre-coverage engine, so existing seeds
+    /// reproduce their historical campaigns.
+    pub coverage_guided: bool,
     /// When set, finding-triggering faulted streams are banked here
     /// as a CRC-checked [`aos_isa::corpus`] file.
     pub corpus_out: Option<PathBuf>,
@@ -49,6 +57,7 @@ impl Default for FuzzConfig {
             seed: 1,
             budget: 8,
             max_chain: 3,
+            coverage_guided: false,
             corpus_out: None,
         }
     }
@@ -73,6 +82,11 @@ pub struct FuzzReport {
     pub banked: u64,
     /// Path of the banked corpus, when one was written.
     pub corpus: Option<String>,
+    /// Whether the coverage-guided scheduler drove chain generation.
+    pub coverage_guided: bool,
+    /// The coverage the campaign reached (tracked in both modes; only
+    /// *steering* is gated by `coverage_guided`).
+    pub coverage: CoverageMap,
 }
 
 impl FuzzReport {
@@ -105,6 +119,12 @@ impl FuzzReport {
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"budget\": {},\n", self.budget));
         out.push_str(&format!("  \"digest\": \"{:016x}\",\n", self.digest()));
+        out.push_str(&format!(
+            "  \"coverage\": {{\"guided\": {}, \"points\": {}, \"fingerprint\": \"{:016x}\"}},\n",
+            self.coverage_guided,
+            self.coverage.len(),
+            self.coverage.fingerprint()
+        ));
         out.push_str("  \"scenarios\": [\n");
         for (i, o) in self.outcomes.iter().enumerate() {
             out.push_str("    {");
@@ -123,6 +143,23 @@ impl FuzzReport {
                 o.lint_rules
                     .iter()
                     .map(|r| format!("\"{}\"", r.name()))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            out.push_str(&format!(
+                "\"policies\": [{}], ",
+                o.policies
+                    .iter()
+                    .map(|v| format!(
+                        "{{\"policy\": \"{}\", \"diagnostics\": {}, \"rules\": [{}]}}",
+                        v.policy.name(),
+                        v.diagnostics,
+                        v.rules
+                            .iter()
+                            .map(|r| format!("\"{r}\""))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
                     .collect::<Vec<_>>()
                     .join(", ")
             ));
@@ -198,13 +235,45 @@ pub fn run_fuzz(config: &FuzzConfig, telemetry: &Telemetry) -> Result<FuzzReport
     let kinds: Vec<StepKind> = StepKind::all().collect();
     let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed);
     let mut plans: Vec<ScenarioPlan> = Vec::with_capacity(config.budget);
-    let mut outcomes = Vec::with_capacity(config.budget);
+    let mut outcomes: Vec<DifferentialOutcome> = Vec::with_capacity(config.budget);
     let mut planning_failures = Vec::new();
+    let mut coverage = CoverageMap::new();
+    // Chains that lit at least one new coverage point, queued for
+    // mutation (coverage-guided mode only).
+    let mut interesting: Vec<Vec<StepKind>> = Vec::new();
     for _ in 0..config.budget {
-        let len = 1 + rng.next_index(config.max_chain.max(1));
-        let steps = (0..len)
-            .map(|_| kinds[rng.next_index(kinds.len())])
-            .collect();
+        let steps: Vec<StepKind> = if config.coverage_guided {
+            if let Some(frontier) = kinds
+                .iter()
+                .find(|k| !coverage.covers(&format!("step:{}", k.name())))
+            {
+                // Frontier first: every step kind gets exercised
+                // before any mutation or uniform draw happens.
+                let tail = rng.next_index(config.max_chain.max(1));
+                std::iter::once(*frontier)
+                    .chain((0..tail).map(|_| kinds[rng.next_index(kinds.len())]))
+                    .collect()
+            } else if let Some(parent) = interesting.pop() {
+                // Mutate an interesting chain: replace one step, or
+                // append one when the chain has room.
+                let mut child = parent;
+                let step = kinds[rng.next_index(kinds.len())];
+                if child.len() < config.max_chain.max(1) && rng.next_index(2) == 0 {
+                    child.push(step);
+                } else {
+                    let slot = rng.next_index(child.len());
+                    child[slot] = step;
+                }
+                child
+            } else {
+                uniform_chain(&mut rng, &kinds, config.max_chain)
+            }
+        } else {
+            // Uniform mode draws exactly as the pre-coverage engine
+            // did — byte-identical RNG consumption, so historical
+            // seeds reproduce their campaigns.
+            uniform_chain(&mut rng, &kinds, config.max_chain)
+        };
         let spec = ScenarioSpec {
             seed: rng.next_u64(),
             steps,
@@ -215,6 +284,11 @@ pub fn run_fuzz(config: &FuzzConfig, telemetry: &Telemetry) -> Result<FuzzReport
                 telemetry.add(Counter::FuzzSteps, plan.steps.len() as u64);
                 let outcome = run_scenario(profile, config.scale, &plan, &baseline);
                 telemetry.add(Counter::FuzzFindings, outcome.findings.len() as u64);
+                let fresh = coverage.observe(&outcome);
+                telemetry.add(Counter::FuzzCoveragePoints, fresh as u64);
+                if config.coverage_guided && fresh > 0 {
+                    interesting.push(plan.spec.steps.clone());
+                }
                 plans.push(plan);
                 outcomes.push(outcome);
             }
@@ -253,7 +327,20 @@ pub fn run_fuzz(config: &FuzzConfig, telemetry: &Telemetry) -> Result<FuzzReport
             .corpus_out
             .as_ref()
             .map(|p| p.display().to_string()),
+        coverage_guided: config.coverage_guided,
+        coverage,
     })
+}
+
+/// The pre-coverage chain draw: uniform over kinds, length in
+/// `1..=max_chain`.
+fn uniform_chain(
+    rng: &mut Xoshiro256StarStar,
+    kinds: &[StepKind],
+    max_chain: usize,
+) -> Vec<StepKind> {
+    let len = 1 + rng.next_index(max_chain.max(1));
+    (0..len).map(|_| kinds[rng.next_index(kinds.len())]).collect()
 }
 
 /// Plans and differentially replays `specs`, banking every faulted
@@ -347,13 +434,32 @@ pub fn replay_corpus(
         let expected = parse_metadata(&entry.metadata)?;
         let ops: Vec<Op> = reader.replay(&entry)?.collect::<Result<_, _>>()?;
         let mut mismatches = Vec::new();
-        let lint = lint_stream(ops.iter().copied(), PointerLayout::default());
-        if lint.total_diagnostics() != expected.lint_diagnostics {
+        // One matrix pass re-derives every static verdict; the AOS
+        // report is bit-identical to the old dedicated lint pass.
+        let reports = MatrixScan::run(
+            &Policy::ALL,
+            ops.iter().copied(),
+            PointerLayout::default(),
+            telemetry,
+        );
+        if reports[0].total_diagnostics() != expected.lint_diagnostics {
             mismatches.push(format!(
                 "lint raised {} diagnostics, banked {}",
-                lint.total_diagnostics(),
+                reports[0].total_diagnostics(),
                 expected.lint_diagnostics
             ));
+        }
+        for (policy, banked) in &expected.policy_diagnostics {
+            let got = reports
+                .iter()
+                .find(|r| r.policy == *policy)
+                .map(|r| r.total_diagnostics())
+                .unwrap_or(0);
+            if got != *banked {
+                mismatches.push(format!(
+                    "{policy} raised {got} diagnostics, banked {banked}"
+                ));
+            }
         }
         for (system, banked) in &expected.faulty_violations {
             let sut = SystemUnderTest::scaled(*system, expected.scale);
@@ -405,6 +511,14 @@ fn metadata_line(
     for v in &outcome.systems {
         parts.push(format!("{}={}", v.system, v.faulty_violations));
     }
+    // Cross-paper policy totals (the AOS column is `lint=` above).
+    // Policy names are lowercase and system names are not, so the
+    // keys cannot collide.
+    for v in &outcome.policies {
+        if v.policy != Policy::Aos {
+            parts.push(format!("{}={}", v.policy.name(), v.diagnostics));
+        }
+    }
     parts.join(";")
 }
 
@@ -412,6 +526,10 @@ struct BankedExpectation {
     scale: f64,
     lint_diagnostics: u64,
     faulty_violations: Vec<(SafetyConfig, u64)>,
+    /// Non-AOS policy totals; empty when replaying a corpus banked
+    /// before the cross-policy keys existed (those replay on the
+    /// dynamic + AOS checks alone).
+    policy_diagnostics: Vec<(Policy, u64)>,
 }
 
 fn parse_metadata(metadata: &str) -> Result<BankedExpectation, AosError> {
@@ -424,20 +542,30 @@ fn parse_metadata(metadata: &str) -> Result<BankedExpectation, AosError> {
     let mut scale = None;
     let mut lint = None;
     let mut faulty = Vec::new();
+    let mut policies = Vec::new();
     for part in metadata.split(';') {
         let (key, value) = part.split_once('=').ok_or_else(|| bad("missing '='"))?;
         match key {
             "scale" => scale = Some(value.parse::<f64>().map_err(|_| bad("bad scale"))?),
             "lint" => lint = Some(value.parse::<u64>().map_err(|_| bad("bad lint count"))?),
             "workload" | "seed" | "steps" => {}
-            system => {
+            other => {
                 if let Some(config) = SafetyConfig::ALL
                     .into_iter()
-                    .find(|c| c.to_string() == system)
+                    .find(|c| c.to_string() == other)
                 {
                     faulty.push((
                         config,
                         value.parse::<u64>().map_err(|_| bad("bad violation count"))?,
+                    ));
+                } else if let Some(policy) =
+                    Policy::parse(other).filter(|p| *p != Policy::Aos)
+                {
+                    policies.push((
+                        policy,
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| bad("bad policy diagnostic count"))?,
                     ));
                 }
             }
@@ -450,6 +578,7 @@ fn parse_metadata(metadata: &str) -> Result<BankedExpectation, AosError> {
         scale: scale.ok_or_else(|| bad("missing scale"))?,
         lint_diagnostics: lint.ok_or_else(|| bad("missing lint count"))?,
         faulty_violations: faulty,
+        policy_diagnostics: policies,
     })
 }
 
@@ -462,27 +591,21 @@ fn canonical_line(o: &DifferentialOutcome) -> String {
         .map(|v| format!("{}={}/{}", v.system, v.clean_violations, v.faulty_violations))
         .collect();
     let findings: Vec<String> = o.findings.iter().map(|f| f.to_string()).collect();
+    let policies: Vec<String> = o
+        .policies
+        .iter()
+        .map(|v| format!("{}:{}[{}]", v.policy.name(), v.diagnostics, v.rules.join(",")))
+        .collect();
     format!(
-        "{}|steps={}|lint={}|rules={}|{}|findings={}",
+        "{}|steps={}|lint={}|rules={}|policies={}|{}|findings={}",
         o.scenario,
         o.steps.join("+"),
         o.lint_diagnostics,
         rules.join(","),
+        policies.join(","),
         systems.join("|"),
         findings.join(";")
     )
-}
-
-const fn fnv1a64_init() -> u64 {
-    0xcbf2_9ce4_8422_2325
-}
-
-fn fnv1a64(mut hash: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
 }
 
 fn esc(s: &str) -> String {

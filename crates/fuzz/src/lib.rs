@@ -21,21 +21,28 @@
 //! The layering mirrors `aos-fault`:
 //!
 //! - [`primitive`] — the composite attack primitives and their
-//!   pinned static/dynamic expectations;
+//!   pinned static/dynamic expectations, including the per-policy
+//!   rule splits of the cross-paper detection matrix;
 //! - [`scenario`] — seeded scenario specs and the planner that turns
 //!   one into concrete [`Splice`](aos_isa::stream::Splice) edits
 //!   against a trace;
-//! - [`differential`] — the five-system dual-oracle replay and the
+//! - [`differential`] — the five-system replay against *all four*
+//!   static policies (one [`aos_lint::MatrixScan`] pass) and the
 //!   finding classification;
+//! - [`coverage`] — the campaign coverage map (step kinds × policy
+//!   rules × dynamic verdicts) that feeds the engine's
+//!   coverage-guided scheduler;
 //! - [`engine`] — the budgeted campaign driver, corpus banking, and
 //!   the `aos-fuzz-report/v1` JSON emitter.
 
+pub mod coverage;
 pub mod differential;
 pub mod engine;
 pub mod primitive;
 pub mod scenario;
 
-pub use differential::{DifferentialOutcome, Finding, FindingKind};
+pub use coverage::CoverageMap;
+pub use differential::{DifferentialOutcome, Finding, FindingKind, PolicyVerdict};
 pub use engine::{bank_scenarios, replay_corpus, run_fuzz, FuzzConfig, FuzzReport, ReplayReport};
 pub use primitive::{CompositeKind, Expectation};
 pub use scenario::{ScenarioPlan, ScenarioSpec, StepKind};

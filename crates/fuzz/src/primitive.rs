@@ -22,7 +22,7 @@
 
 use aos_fault::{LintClass, UAF_DELAY_OPS};
 use aos_isa::Op;
-use aos_lint::Rule;
+use aos_lint::{Policy, Rule};
 use aos_ptrauth::{compute_ahc, PointerLayout};
 use aos_util::rng::Xoshiro256StarStar;
 
@@ -135,6 +135,33 @@ impl CompositeKind {
                 rules: &[],
                 exact_delta: Some(1),
             },
+        }
+    }
+
+    /// The rules each static [`Policy`] is pinned to fire on this
+    /// primitive — the composite rows of the cross-paper detection
+    /// matrix. The AOS column mirrors [`expectation`]
+    /// (CompositeKind::expectation); the others encode each paper's
+    /// blind spots: CryptSan has no size classes (misses
+    /// `ahc-confusion`), PACSan's re-seal launders the dangling
+    /// pointer (misses `dangling-resign`), PACTight only
+    /// authenticates signatures (catches forgery, nothing temporal),
+    /// and the two protocol-clean primitives (`heap-spray`,
+    /// `toctou-resize`) pass every static policy.
+    pub fn policy_rules(self, policy: Policy) -> &'static [&'static str] {
+        match (self, policy) {
+            (CompositeKind::HeapSpray | CompositeKind::ToctouResize, _) => &[],
+            (CompositeKind::PacBruteForce, Policy::Aos) => &["unknown-pac"],
+            (CompositeKind::PacBruteForce, Policy::CryptSan) => &["unallocated-key"],
+            (CompositeKind::PacBruteForce, Policy::PacSan) => &["unsealed-pointer"],
+            (CompositeKind::PacBruteForce, Policy::PacTight) => &["forged-pointer"],
+            (CompositeKind::AhcConfusion, Policy::Aos) => &["access-ahc-mismatch"],
+            (CompositeKind::AhcConfusion, Policy::CryptSan) => &[],
+            (CompositeKind::AhcConfusion, Policy::PacSan) => &["seal-class-mismatch"],
+            (CompositeKind::AhcConfusion, Policy::PacTight) => &["integrity-class-mismatch"],
+            (CompositeKind::DanglingResign, Policy::Aos) => &["access-after-clear"],
+            (CompositeKind::DanglingResign, Policy::CryptSan) => &["revoked-key"],
+            (CompositeKind::DanglingResign, Policy::PacSan | Policy::PacTight) => &[],
         }
     }
 
@@ -519,6 +546,22 @@ mod tests {
                 LintClass::Mixed => panic!("no composite pins a mixed class"),
             }
             assert!(e.exact_delta.is_some(), "composites pin exact deltas");
+        }
+    }
+
+    #[test]
+    fn policy_rule_pins_agree_with_the_aos_expectation() {
+        for kind in CompositeKind::ALL {
+            let aos: Vec<&str> = kind.expectation().rules.iter().map(|r| r.name()).collect();
+            assert_eq!(kind.policy_rules(Policy::Aos), aos.as_slice(), "{kind}");
+            for policy in Policy::ALL {
+                for rule in kind.policy_rules(policy) {
+                    assert!(
+                        policy.rules().iter().any(|info| info.name == *rule),
+                        "{kind}: '{rule}' is not in {policy}'s taxonomy"
+                    );
+                }
+            }
         }
     }
 

@@ -14,8 +14,9 @@
 //! expressed in *original* trace indices, so the whole chain applies
 //! in one [`SpliceMany`](aos_isa::stream::SpliceMany) pass.
 
-use aos_fault::campaign::{expected_lint_rules, LintClass};
+use aos_fault::campaign::{expected_lint_rules, expected_policy_rules, LintClass};
 use aos_fault::{plan_fault, FaultAction, FaultKind, FaultSpec};
+use aos_lint::Policy;
 use aos_isa::stream::{Splice, SpliceMany};
 use aos_isa::Op;
 use aos_ptrauth::PointerLayout;
@@ -78,6 +79,17 @@ impl StepKind {
                 exact_delta: None,
             },
             StepKind::Composite(kind) => kind.expectation(),
+        }
+    }
+
+    /// The rules `policy` is pinned to fire on this step: the base
+    /// injectors' cross-paper table lives in
+    /// [`aos_fault::campaign::expected_policy_rules`], the composites'
+    /// in [`CompositeKind::policy_rules`].
+    pub fn policy_rules(self, policy: Policy) -> &'static [&'static str] {
+        match self {
+            StepKind::Base(kind) => expected_policy_rules(policy, kind),
+            StepKind::Composite(kind) => kind.policy_rules(policy),
         }
     }
 }
@@ -180,6 +192,23 @@ impl ScenarioPlan {
             .flat_map(|s| s.expectation.rules.iter().copied())
             .collect();
         rules.sort_by_key(|r| *r as usize);
+        rules.dedup();
+        rules
+    }
+
+    /// The rule wire-names the chain's pinned steps oblige `policy`
+    /// to fire — the per-policy analogue of
+    /// [`expected_rules`](ScenarioPlan::expected_rules), honoring the
+    /// same collision unpinning (a step whose static side is unpinned
+    /// contributes nothing).
+    pub fn expected_policy_rules(&self, policy: Policy) -> Vec<&'static str> {
+        let mut rules: Vec<&'static str> = self
+            .steps
+            .iter()
+            .filter(|s| s.static_pinned)
+            .flat_map(|s| s.kind.policy_rules(policy).iter().copied())
+            .collect();
+        rules.sort_unstable();
         rules.dedup();
         rules
     }
@@ -377,6 +406,11 @@ mod tests {
         assert_eq!(plan.expected_rules(), vec![aos_lint::Rule::AccessAfterClear]);
         assert_eq!(plan.expected_exact_delta(), Some(2), "one probe per primitive");
         assert!(plan.dropped.is_empty());
+        // Cross-policy split: only CryptSan shares AOS's view of the
+        // dangling re-sign; the spray is invisible to every policy.
+        assert_eq!(plan.expected_policy_rules(Policy::CryptSan), vec!["revoked-key"]);
+        assert!(plan.expected_policy_rules(Policy::PacSan).is_empty());
+        assert!(plan.expected_policy_rules(Policy::PacTight).is_empty());
     }
 
     #[test]

@@ -30,6 +30,16 @@
 //! streams whose addresses are simply wrong — runtime phenomena only
 //! the HBT bounds check can catch. `aos_fault` pins that split.
 //!
+//! The AOS verifier is one of four pluggable static policies: the
+//! [`policy`] module adds abstract models of CryptSan (lock-and-key),
+//! PACSan (PAC-sealed shadow) and PACTight (pointer integrity), each
+//! encoding what that paper's instrumentation can and cannot prove
+//! about a trace, behind one [`PolicyVerifier`] trait. The [`matrix`]
+//! module runs any subset of them in a single streaming pass and
+//! renders the policy × rule × fault-kind detection matrix
+//! (`aos-lint-matrix/v1`); per-policy rule metadata lives in the
+//! shared [`registry`].
+//!
 //! # Examples
 //!
 //! ```
@@ -56,10 +66,16 @@
 //! assert_eq!(report.count(Rule::DoubleBndclr), 1);
 //! ```
 
+pub mod matrix;
+pub mod policy;
+pub mod registry;
 pub mod report;
 pub mod rules;
 pub mod verifier;
 
+pub use matrix::{MatrixEntry, MatrixReport, MatrixScan};
+pub use policy::{Policy, PolicyDiagnostic, PolicyReport, PolicyVerifier};
+pub use registry::RuleInfo;
 pub use report::LintReport;
 pub use rules::{Diagnostic, Rule, Severity};
 pub use verifier::{

@@ -181,7 +181,7 @@ impl LintReport {
 }
 
 /// Minimal JSON string escaping, enough for diagnostic details.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -100,33 +100,21 @@ impl Rule {
         "unbalanced-at-end",
     ];
 
-    /// The rule's stable wire name.
+    /// The rule's stable wire name (from the shared
+    /// [`registry`](crate::registry)).
     pub fn name(self) -> &'static str {
-        Self::NAMES[self as usize]
+        crate::registry::AOS_RULES[self as usize].name
     }
 
-    /// The rule's fixed severity.
+    /// The rule's fixed severity (from the shared registry).
     pub fn severity(self) -> Severity {
-        match self {
-            Rule::UnbalancedAtEnd => Severity::Warning,
-            _ => Severity::Error,
-        }
+        crate::registry::AOS_RULES[self as usize].severity
     }
 
     /// The Fig. 7 / Algorithm 1 obligation the rule enforces — one
     /// line, used by the CLI table and DESIGN.md §12.
     pub fn obligation(self) -> &'static str {
-        match self {
-            Rule::UseBeforeBndstr => "malloc signs then stores bounds before first use (Fig. 7a)",
-            Rule::UnknownPac => "every signed pointer descends from a pacma (Fig. 7a)",
-            Rule::AccessAfterClear => "no use after the free-site bndclr (Fig. 7b)",
-            Rule::DoubleBndclr => "each allocation is cleared exactly once (Fig. 7b)",
-            Rule::XpacmWithoutBndclr => "xpacm strips only as part of the free sequence (Fig. 7b)",
-            Rule::BndstrWithoutPacma => "bndstr pairs with the pacma that signed it (Fig. 7a)",
-            Rule::AhcSizeMismatch => "AHC bits encode Algorithm 1 of the size operand",
-            Rule::AccessAhcMismatch => "accesses select the AHC way their bounds live in",
-            Rule::UnbalancedAtEnd => "protocol sequences complete before the stream ends",
-        }
+        crate::registry::AOS_RULES[self as usize].obligation
     }
 }
 

@@ -162,11 +162,17 @@ pub enum Counter {
     FuzzFindings,
     /// Discrepancy-triggering streams banked into regression corpora.
     FuzzCorpusBanked,
+    /// Diagnostics emitted by non-AOS static policy verifiers
+    /// (CryptSan/PACSan/PACTight models) in matrix scans.
+    LintPolicyDiagnostics,
+    /// Distinct coverage points (rules fired, violation sites
+    /// reached) the fuzzing engine's coverage map accumulated.
+    FuzzCoveragePoints,
 }
 
 impl Counter {
     /// Number of counters in the taxonomy.
-    pub const COUNT: usize = 46;
+    pub const COUNT: usize = 48;
 
     /// Every counter, in cell (and wire) order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -216,6 +222,8 @@ impl Counter {
         Counter::FuzzSteps,
         Counter::FuzzFindings,
         Counter::FuzzCorpusBanked,
+        Counter::LintPolicyDiagnostics,
+        Counter::FuzzCoveragePoints,
     ];
 
     /// Stable wire names, in the same order as [`Counter::ALL`].
@@ -266,6 +274,8 @@ impl Counter {
         "fuzz_steps",
         "fuzz_findings",
         "fuzz_corpus_banked",
+        "lint_policy_diagnostics",
+        "fuzz_coverage_points",
     ];
 
     /// The counter's stable wire name.

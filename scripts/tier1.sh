@@ -27,6 +27,12 @@ echo "== tier-1: static protocol lint smoke (strict) =="
 # A clean generated trace must carry zero protocol findings.
 cargo run -q --release -p aos-cli -- lint >/dev/null
 
+echo "== tier-1: cross-policy detection matrix smoke =="
+# The clean row of the policy x fault-kind matrix must stay silent
+# under every static policy (AOS, CryptSan, PACSan, PACTight) —
+# nonzero exit on any clean-trace false positive.
+cargo run -q --release -p aos-cli -- matrix --scale 0.01 --seeds 1 >/dev/null
+
 echo "== tier-1: adversarial differential fuzz smoke (fixed seed) =="
 # A fixed-seed, fixed-budget campaign must run finding-free (exit 0):
 # every generated attack chain lands exactly on the pinned

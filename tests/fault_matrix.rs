@@ -14,9 +14,11 @@
 use aos_core::experiment::SystemUnderTest;
 use aos_fault::campaign::FaultCampaignConfig;
 use aos_fault::{
-    expected_lint_rules, plan_fault, run_fault_campaign, FaultKind, FaultSpec, LintClass,
+    expected_lint_rules, expected_policy_class, expected_policy_rules, plan_fault,
+    run_fault_campaign, FaultKind, FaultSpec, LintClass,
 };
 use aos_isa::SafetyConfig;
+use aos_lint::Policy;
 use aos_ptrauth::PointerLayout;
 use aos_sim::Machine;
 use aos_util::{Counter, TelemetrySnapshot};
@@ -157,6 +159,69 @@ fn lint_cross_check_matches_the_pinned_static_dynamic_split() {
     }
     assert!(outcome.lint.matches_pinned_split());
     assert!(outcome.lint.is_consistent());
+}
+
+/// The `--policy all` strict gate's evidence, end to end: sweeping
+/// the campaign under every static policy lands each one exactly on
+/// its own pinned rule table (zero clean-trace noise included), the
+/// AOS policy column reproduces the legacy lint cross-check verdict
+/// for verdict, and the campaign report carries one annotation per
+/// policy.
+#[test]
+fn every_policy_cross_check_lands_on_its_pinned_table() {
+    let profile = by_name("hmmer").unwrap();
+    let config = FaultCampaignConfig {
+        policies: Policy::ALL.to_vec(),
+        ..FaultCampaignConfig::standard(*profile, SCALE, vec![1, 7])
+    };
+    let outcome = run_fault_campaign(&config).expect("fault campaign runs");
+    assert_eq!(outcome.policies.len(), Policy::ALL.len());
+    for check in &outcome.policies {
+        assert_eq!(
+            check.clean_diagnostics,
+            0,
+            "{} flagged the clean trace",
+            check.policy.name()
+        );
+        assert!(
+            check.matches_pinned_split(),
+            "{} drifted off its pinned table: {}",
+            check.policy.name(),
+            check.to_json_value()
+        );
+        for k in &check.kinds {
+            assert_eq!(
+                k.rules,
+                expected_policy_rules(check.policy, k.kind),
+                "{} / {}",
+                check.policy.name(),
+                k.kind.name()
+            );
+            assert_eq!(
+                k.classification(),
+                expected_policy_class(check.policy, k.kind),
+                "{} / {}",
+                check.policy.name(),
+                k.kind.name()
+            );
+        }
+    }
+    // The AOS policy column and the legacy lint cross-check are the
+    // same scan — verdict-identical, kind by kind.
+    let aos = &outcome.policies[0];
+    assert_eq!(aos.policy, Policy::Aos);
+    assert_eq!(aos.clean_diagnostics, outcome.lint.clean_diagnostics);
+    for (k, legacy) in aos.kinds.iter().zip(&outcome.lint.kinds) {
+        assert_eq!(k.kind, legacy.kind);
+        assert_eq!(k.flagged, legacy.flagged, "{}", k.kind.name());
+        assert_eq!(k.rules, legacy.rules, "{}", k.kind.name());
+    }
+    // The report annotation carries every policy's verdict.
+    let json = outcome.report.to_json();
+    assert!(json.contains("\"policy_cross_check\""));
+    for p in Policy::ALL {
+        assert!(json.contains(&format!("\"policy\": \"{}\"", p.name())), "{p:?}");
+    }
 }
 
 #[test]

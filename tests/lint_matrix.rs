@@ -16,8 +16,10 @@
 use aos_fault::{
     plan_fault, run_fault_campaign, FaultCampaignConfig, FaultKind, FaultSpec, LintClass,
 };
+use aos_fuzz::scenario::plan_scenario;
+use aos_fuzz::{ScenarioSpec, StepKind};
 use aos_isa::SafetyConfig;
-use aos_lint::{lint_stream, lint_stream_metered, Rule};
+use aos_lint::{lint_stream, lint_stream_metered, MatrixScan, Policy, PolicyReport, Rule};
 use aos_ptrauth::PointerLayout;
 use aos_sim::Machine;
 use aos_util::Telemetry;
@@ -160,6 +162,175 @@ fn campaign_cross_check_agrees_with_the_pinned_matrix() {
     }
     let json = outcome.report.to_json();
     assert!(json.contains("\"lint_cross_check\": {\"clean_diagnostics\": 0, \"consistent\": true,"));
+}
+
+/// The cross-paper detection matrix, pinned by rule name over all
+/// eleven attack kinds (six base injectors + five composite
+/// primitives) and all four static policies. Each column is one
+/// paper's abstract model; the disagreement cells are the point:
+/// CryptSan's key revocation catches the dangling re-sign that AOS's
+/// size-0 `pacma` launders straight past PACSan, PACTight sees only
+/// forgeries and class confusion, and nobody proves spatial
+/// overflows statically.
+const POLICY_PINNED: [(&str, [&[&str]; 4]); 11] = [
+    ("overflow", [&[], &[], &[], &[]]),
+    ("underflow", [&[], &[], &[], &[]]),
+    (
+        "uaf",
+        [&["access-after-clear"], &["revoked-key"], &[], &[]],
+    ),
+    (
+        "double-free",
+        [
+            &["double-bndclr", "unbalanced-at-end"],
+            &["double-revoke"],
+            &["double-invalidate"],
+            &[],
+        ],
+    ),
+    (
+        "pac-tamper",
+        [
+            &["unknown-pac"],
+            &["unallocated-key"],
+            &["unsealed-pointer"],
+            &["forged-pointer"],
+        ],
+    ),
+    (
+        "ahc-forge",
+        [
+            &["unknown-pac"],
+            &["unallocated-key"],
+            &["unsealed-pointer"],
+            &["forged-pointer"],
+        ],
+    ),
+    ("heap-spray", [&[], &[], &[], &[]]),
+    (
+        "pac-brute-force",
+        [
+            &["unknown-pac"],
+            &["unallocated-key"],
+            &["unsealed-pointer"],
+            &["forged-pointer"],
+        ],
+    ),
+    (
+        "ahc-confusion",
+        [
+            &["access-ahc-mismatch"],
+            &[],
+            &["seal-class-mismatch"],
+            &["integrity-class-mismatch"],
+        ],
+    ),
+    (
+        "dangling-resign",
+        [&["access-after-clear"], &["revoked-key"], &[], &[]],
+    ),
+    ("toctou-resize", [&[], &[], &[], &[]]),
+];
+
+/// Every (kind, policy) cell of [`POLICY_PINNED`] is observed on a
+/// real injected stream, and the library's own pinned tables (which
+/// the strict `--policy` gates enforce) agree with this test's copy.
+#[test]
+fn the_cross_paper_policy_matrix_is_pinned_for_all_eleven_kinds() {
+    let layout = PointerLayout::default();
+    let trace = stream;
+    assert_eq!(
+        POLICY_PINNED.len(),
+        StepKind::all().count(),
+        "a new attack kind needs a pinned matrix row"
+    );
+    for (i, (name, expected)) in POLICY_PINNED.iter().enumerate() {
+        let step = StepKind::parse(name).expect("pinned kind parses");
+        let spec = ScenarioSpec {
+            seed: 100 + i as u64,
+            steps: vec![step],
+        };
+        let plan = plan_scenario(&spec, &trace, layout).expect("plan");
+        assert!(
+            plan.steps.iter().all(|s| s.static_pinned),
+            "{name}: seed {} collided with a trace PAC; pick another",
+            spec.seed
+        );
+        let reports = MatrixScan::run(
+            &Policy::ALL,
+            plan.apply(stream()),
+            layout,
+            &Telemetry::disabled(),
+        );
+        for (p, report) in reports.iter().enumerate() {
+            assert_eq!(
+                report.rule_names_fired(),
+                expected[p].to_vec(),
+                "{name} under {}: rule set drifted off the pinned matrix",
+                report.policy.name()
+            );
+        }
+        for (p, policy) in Policy::ALL.iter().enumerate() {
+            assert_eq!(
+                plan.expected_policy_rules(*policy),
+                expected[p].to_vec(),
+                "{name}: the library's pinned table disagrees with the test's under {}",
+                policy.name()
+            );
+        }
+    }
+}
+
+/// The refactor guarantee: the AOS policy run through [`MatrixScan`]
+/// is bit-identical to the pre-framework [`lint_stream`] verifier —
+/// same per-rule counts, same op tally — on the clean trace and on
+/// every injected kind.
+#[test]
+fn the_aos_policy_is_bit_identical_to_the_linter() {
+    let layout = PointerLayout::default();
+    let trace = stream;
+    let compare = |label: &str, faulted: &ScenarioPlanOrClean| {
+        let matrix_report = match faulted {
+            ScenarioPlanOrClean::Clean => MatrixScan::run(
+                &[Policy::Aos],
+                stream(),
+                layout,
+                &Telemetry::disabled(),
+            ),
+            ScenarioPlanOrClean::Planned(plan) => MatrixScan::run(
+                &[Policy::Aos],
+                plan.apply(stream()),
+                layout,
+                &Telemetry::disabled(),
+            ),
+        };
+        let legacy = match faulted {
+            ScenarioPlanOrClean::Clean => lint_stream(stream(), layout),
+            ScenarioPlanOrClean::Planned(plan) => lint_stream(plan.apply(stream()), layout),
+        };
+        let legacy = PolicyReport::from_lint(&legacy);
+        assert_eq!(
+            matrix_report[0].rule_counts, legacy.rule_counts,
+            "{label}: per-rule counts drifted between the framework and the linter"
+        );
+        assert_eq!(matrix_report[0].ops_scanned, legacy.ops_scanned, "{label}");
+    };
+    compare("clean", &ScenarioPlanOrClean::Clean);
+    for (i, step) in StepKind::all().enumerate() {
+        let spec = ScenarioSpec {
+            seed: 100 + i as u64,
+            steps: vec![step],
+        };
+        let plan = plan_scenario(&spec, &trace, layout).expect("plan");
+        compare(step.name(), &ScenarioPlanOrClean::Planned(plan));
+    }
+}
+
+/// Helper enum for [`the_aos_policy_is_bit_identical_to_the_linter`]:
+/// the clean stream has no plan to apply.
+enum ScenarioPlanOrClean {
+    Clean,
+    Planned(aos_fuzz::ScenarioPlan),
 }
 
 /// The memory-discipline proof: linting a trace an order of magnitude
